@@ -1,0 +1,66 @@
+//! Factorization algorithm micro-benchmarks: ASSO (with and without
+//! threshold sweep / weighting) vs GreConD vs GF(2) on window-sized
+//! matrices — the ablation axis called out in `DESIGN.md`.
+
+use blasys_bmf::asso::{asso, AssoParams};
+use blasys_bmf::grecon::grecond;
+use blasys_bmf::metrics::value_weights;
+use blasys_bmf::xor::{factorize_xor, XorParams};
+use blasys_bmf::BoolMatrix;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+/// A structured window matrix like the ones BLASYS factorizes:
+/// 2^k rows of an arithmetic-looking function.
+fn window_matrix(k: usize, m: usize) -> BoolMatrix {
+    BoolMatrix::from_fn(1 << k, m, |r, c| {
+        let a = r & ((1 << (k / 2)) - 1);
+        let b = r >> (k / 2);
+        ((a * b + a) >> c) & 1 == 1
+    })
+}
+
+fn bench_bmf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bmf");
+    g.sample_size(10);
+    for &(k, m, f) in &[(8usize, 8usize, 4usize), (10, 10, 5)] {
+        let matrix = window_matrix(k, m);
+        g.bench_function(format!("asso_k{k}_m{m}_f{f}"), |b| {
+            let params = AssoParams::default();
+            b.iter_batched(
+                || matrix.clone(),
+                |mat| asso(&mat, f, &params),
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("asso_weighted_k{k}_m{m}_f{f}"), |b| {
+            let params = AssoParams {
+                weights: Some(value_weights(m)),
+                ..AssoParams::default()
+            };
+            b.iter_batched(
+                || matrix.clone(),
+                |mat| asso(&mat, f, &params),
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("grecond_k{k}_m{m}_f{f}"), |b| {
+            b.iter_batched(
+                || matrix.clone(),
+                |mat| grecond(&mat, f),
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("xor_k{k}_m{m}_f{f}"), |b| {
+            let params = XorParams::default();
+            b.iter_batched(
+                || matrix.clone(),
+                |mat| factorize_xor(&mat, f, &params),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bmf);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! End-to-end flow benchmarks and design-choice ablations from
+//! `DESIGN.md`: decomposition size k = m, OR vs XOR decompressors, and
+//! hybrid vs pure-ASSO profiling. Uses a small multiplier so the whole
+//! suite stays fast.
+
+use blasys_bmf::Algebra;
+use blasys_circuits::multiplier;
+use blasys_core::Blasys;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn small_flow() -> Blasys {
+    Blasys::new().samples(1_024).seed(7)
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let nl = multiplier(4);
+    let mut g = c.benchmark_group("flow");
+    g.sample_size(10);
+
+    g.bench_function("mult4_exhaustive", |b| {
+        b.iter(|| small_flow().run(&nl))
+    });
+
+    // Ablation: decomposition size.
+    for km in [4usize, 6, 8, 10] {
+        g.bench_function(format!("mult4_k{km}m{km}"), |b| {
+            b.iter(|| small_flow().limits(km, km).run(&nl))
+        });
+    }
+
+    // Ablation: OR semi-ring vs XOR field decompressors.
+    g.bench_function("mult4_field_xor", |b| {
+        b.iter(|| small_flow().algebra(Algebra::Field).run(&nl))
+    });
+
+    // Ablation: hybrid variant selection off (pure ASSO).
+    g.bench_function("mult4_pure_asso", |b| {
+        b.iter(|| small_flow().hybrid(false).run(&nl))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

@@ -1,0 +1,259 @@
+//! Greedy design-space exploration (Algorithm 1, lines 12–22).
+//!
+//! Starting from the exact circuit (`f_i = m_i` everywhere), each
+//! iteration probes, for every subcircuit still above degree 1, the
+//! whole-circuit QoR if that subcircuit's degree dropped by one; the
+//! subcircuit with the smallest error increase is committed. The loop
+//! records one [`TrajectoryPoint`] per committed step and stops at the
+//! error threshold (or when every subcircuit reaches degree 1).
+
+use crate::montecarlo::Evaluator;
+use crate::profile::SubcircuitProfile;
+use crate::qor::{QorMetric, QorReport};
+
+/// When exploration stops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopCriterion {
+    /// Stop as soon as the driving metric would exceed this threshold
+    /// (the paper's Algorithm 1 condition).
+    ErrorThreshold(f64),
+    /// Walk the full trajectory down to `f_i = 1` everywhere
+    /// (used to draw the Figure 5 trade-off curves).
+    Exhaust,
+}
+
+/// Exploration settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExploreConfig {
+    /// Metric that drives greedy selection and the stop threshold.
+    pub metric: QorMetric,
+    /// Stop criterion.
+    pub stop: StopCriterion,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> ExploreConfig {
+        ExploreConfig {
+            metric: QorMetric::AvgRelative,
+            stop: StopCriterion::Exhaust,
+        }
+    }
+}
+
+/// One committed step of the exploration.
+#[derive(Debug, Clone)]
+pub struct TrajectoryPoint {
+    /// Step index (0 = exact starting point).
+    pub step: usize,
+    /// Cluster whose degree was decremented at this step (`None` for
+    /// the starting point).
+    pub changed_cluster: Option<usize>,
+    /// Factorization degree per cluster after the step.
+    pub degrees: Vec<usize>,
+    /// Whole-circuit QoR after the step.
+    pub qor: QorReport,
+    /// Modeled area: sum of the active variants' areas (the paper's
+    /// exploration-time design-metric model), µm².
+    pub model_area_um2: f64,
+}
+
+/// Run Algorithm 1's exploration phase.
+///
+/// `evaluator` must be freshly built (exact tables installed);
+/// `profiles` must come from the same partition. Returns the recorded
+/// trajectory; the first point is the exact design.
+pub fn explore(
+    evaluator: &mut Evaluator,
+    profiles: &[SubcircuitProfile],
+    cfg: &ExploreConfig,
+) -> Vec<TrajectoryPoint> {
+    let n = profiles.len();
+    let mut degrees: Vec<usize> = profiles.iter().map(|p| p.num_outputs).collect();
+    let model_area = |degrees: &[usize]| -> f64 {
+        profiles
+            .iter()
+            .zip(degrees)
+            .map(|(p, &f)| p.variant(f).area_um2)
+            .sum()
+    };
+
+    let mut trajectory = Vec::new();
+    trajectory.push(TrajectoryPoint {
+        step: 0,
+        changed_cluster: None,
+        degrees: degrees.clone(),
+        qor: evaluator.qor_current(),
+        model_area_um2: model_area(&degrees),
+    });
+
+    let threshold = match cfg.stop {
+        StopCriterion::ErrorThreshold(t) => t,
+        StopCriterion::Exhaust => f64::INFINITY,
+    };
+
+    let mut step = 0usize;
+    loop {
+        // Candidates: clusters whose degree can still drop.
+        let mut best: Option<(f64, usize, QorReport)> = None;
+        for ci in 0..n {
+            if degrees[ci] <= 1 {
+                continue;
+            }
+            let rows = &profiles[ci].variant(degrees[ci] - 1).table_rows;
+            let report = evaluator.qor_with(ci, rows);
+            let err = report.value(cfg.metric);
+            let better = match &best {
+                None => true,
+                Some((e, _, _)) => err < *e,
+            };
+            if better {
+                best = Some((err, ci, report));
+            }
+        }
+        let Some((err, ci, report)) = best else {
+            break; // everything at degree 1
+        };
+        if err > threshold {
+            break; // next step would cross the threshold
+        }
+        degrees[ci] -= 1;
+        evaluator.commit(ci, profiles[ci].variant(degrees[ci]).table_rows.clone());
+        step += 1;
+        trajectory.push(TrajectoryPoint {
+            step,
+            changed_cluster: Some(ci),
+            degrees: degrees.clone(),
+            qor: report,
+            model_area_um2: model_area(&degrees),
+        });
+    }
+    trajectory
+}
+
+/// The last trajectory point whose driving metric stays within
+/// `threshold` (the design Algorithm 1 would synthesize).
+pub fn best_under_threshold<'a>(
+    trajectory: &'a [TrajectoryPoint],
+    metric: QorMetric,
+    threshold: f64,
+) -> Option<&'a TrajectoryPoint> {
+    trajectory
+        .iter()
+        .rev()
+        .find(|p| p.qor.value(metric) <= threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::McConfig;
+    use crate::profile::{profile_partition, ProfileConfig};
+    use blasys_decomp::{decompose, DecompConfig};
+    use blasys_logic::builder::{add, input_bus, mark_output_bus};
+    use blasys_logic::Netlist;
+
+    fn setup(width: usize) -> (Netlist, Vec<SubcircuitProfile>, Evaluator) {
+        let mut nl = Netlist::new("add");
+        let a = input_bus(&mut nl, "a", width);
+        let b = input_bus(&mut nl, "b", width);
+        let s = add(&mut nl, &a, &b);
+        mark_output_bus(&mut nl, "s", &s);
+        let part = decompose(&nl, &DecompConfig::default());
+        let profiles = profile_partition(&nl, &part, &ProfileConfig::default());
+        let ev = Evaluator::new(
+            &nl,
+            &part,
+            &McConfig {
+                samples: 2048,
+                seed: 11,
+            },
+        );
+        (nl, profiles, ev)
+    }
+
+    #[test]
+    fn trajectory_starts_exact_and_walks_down() {
+        let (_nl, profiles, mut ev) = setup(8);
+        let traj = explore(&mut ev, &profiles, &ExploreConfig::default());
+        assert!(traj.len() > 1);
+        assert_eq!(traj[0].qor.avg_relative, 0.0);
+        assert!(traj[0].changed_cluster.is_none());
+        // Exhaustive walk ends with all degrees at 1.
+        let last = traj.last().unwrap();
+        assert!(last.degrees.iter().all(|&d| d == 1));
+        // Total steps = sum of (m_i - 1).
+        let expected: usize = profiles.iter().map(|p| p.num_outputs - 1).sum();
+        assert_eq!(traj.len() - 1, expected);
+    }
+
+    #[test]
+    fn each_step_decrements_exactly_one_degree() {
+        let (_nl, profiles, mut ev) = setup(6);
+        let traj = explore(&mut ev, &profiles, &ExploreConfig::default());
+        for w in traj.windows(2) {
+            let before: usize = w[0].degrees.iter().sum();
+            let after: usize = w[1].degrees.iter().sum();
+            assert_eq!(after + 1, before);
+            let ci = w[1].changed_cluster.unwrap();
+            assert_eq!(w[0].degrees[ci], w[1].degrees[ci] + 1);
+        }
+        let _ = profiles;
+    }
+
+    #[test]
+    fn model_area_shrinks_overall() {
+        let (_nl, profiles, mut ev) = setup(8);
+        let traj = explore(&mut ev, &profiles, &ExploreConfig::default());
+        let first = traj.first().unwrap().model_area_um2;
+        let last = traj.last().unwrap().model_area_um2;
+        assert!(
+            last < first * 0.8,
+            "full approximation should cut modeled area meaningfully: {last} vs {first}"
+        );
+        let _ = profiles;
+    }
+
+    #[test]
+    fn threshold_stops_early_and_stays_under() {
+        let (_nl, profiles, mut ev) = setup(8);
+        let cfg = ExploreConfig {
+            metric: QorMetric::AvgRelative,
+            stop: StopCriterion::ErrorThreshold(0.05),
+        };
+        let traj = explore(&mut ev, &profiles, &cfg);
+        for p in &traj {
+            assert!(p.qor.avg_relative <= 0.05 + 1e-12);
+        }
+        // The exhaustive walk reaches higher error, so the thresholded
+        // one must have stopped earlier than the full length.
+        let expected_full: usize = profiles.iter().map(|p| p.num_outputs - 1).sum();
+        assert!(traj.len() - 1 <= expected_full);
+    }
+
+    #[test]
+    fn best_under_threshold_picks_deepest_point() {
+        let (_nl, profiles, mut ev) = setup(6);
+        let traj = explore(&mut ev, &profiles, &ExploreConfig::default());
+        let best = best_under_threshold(&traj, QorMetric::AvgRelative, 0.02).unwrap();
+        assert!(best.qor.avg_relative <= 0.02);
+        // No later point is also under the threshold with smaller area
+        // (the search returns the *last* qualifying point).
+        for p in &traj[best.step + 1..] {
+            assert!(p.qor.avg_relative > 0.02 || p.step <= best.step);
+        }
+        let _ = profiles;
+    }
+
+    #[test]
+    fn error_grows_monotonically_enough() {
+        // Greedy picks the smallest error each step; the committed error
+        // sequence should trend upward (allow tiny non-monotonicity from
+        // error interaction).
+        let (_nl, profiles, mut ev) = setup(8);
+        let traj = explore(&mut ev, &profiles, &ExploreConfig::default());
+        let first_third = traj[traj.len() / 3].qor.avg_relative;
+        let last = traj.last().unwrap().qor.avg_relative;
+        assert!(last >= first_third);
+        let _ = profiles;
+    }
+}

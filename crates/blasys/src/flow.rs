@@ -1,0 +1,463 @@
+//! End-to-end BLASYS flow: decompose → profile → explore → synthesize.
+
+use blasys_bmf::{Algebra, Factorizer};
+use blasys_decomp::{decompose, substitute, ClusterImpl, DecompConfig, Partition};
+use blasys_logic::Netlist;
+use blasys_synth::estimate::{estimate, EstimateConfig};
+use blasys_synth::{CellLibrary, DesignMetrics, EspressoConfig};
+
+use crate::explore::{explore, ExploreConfig, StopCriterion, TrajectoryPoint};
+use crate::montecarlo::{Evaluator, McConfig};
+use crate::profile::{profile_partition, ProfileConfig, SubcircuitProfile};
+use crate::qor::QorMetric;
+
+/// How per-cluster output weights are derived for weighted-QoR
+/// factorization (Section 3.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputWeighting {
+    /// Uniform weights — standard L2 / Hamming BMF ("UQoR" in Fig. 4).
+    #[default]
+    Uniform,
+    /// Weight each subcircuit output by the numerical significance of
+    /// the primary-output bits it can reach (powers of two, the
+    /// paper's "WQoR" scheme generalized to internal signals).
+    ValueInfluence,
+}
+
+/// Builder-style front-end for the complete BLASYS flow.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct Blasys {
+    decomp: DecompConfig,
+    factorizer: Factorizer,
+    espresso: EspressoConfig,
+    library: CellLibrary,
+    estimate: EstimateConfig,
+    mc: McConfig,
+    explore: ExploreConfig,
+    weighting: OutputWeighting,
+    hybrid: bool,
+    stimulus: Option<Vec<Vec<u64>>>,
+}
+
+impl Default for Blasys {
+    fn default() -> Blasys {
+        Blasys::new()
+    }
+}
+
+impl Blasys {
+    /// Paper defaults: k = m = 10 decomposition, ASSO with threshold
+    /// sweep, OR semi-ring, uniform weights, average relative error,
+    /// exhaustive trajectory.
+    pub fn new() -> Blasys {
+        Blasys {
+            decomp: DecompConfig::default(),
+            factorizer: Factorizer::new(),
+            espresso: EspressoConfig::default(),
+            library: CellLibrary::typical_65nm(),
+            estimate: EstimateConfig::default(),
+            mc: McConfig::default(),
+            explore: ExploreConfig::default(),
+            weighting: OutputWeighting::Uniform,
+            hybrid: true,
+            stimulus: None,
+        }
+    }
+
+    /// Provide explicit Monte-Carlo stimulus (`stimulus[input][block]`,
+    /// 64 samples per block) instead of uniform random inputs. Use for
+    /// workloads whose input distribution matters (e.g. accumulators).
+    pub fn stimulus(mut self, stimulus: Vec<Vec<u64>>) -> Blasys {
+        self.stimulus = Some(stimulus);
+        self
+    }
+
+    /// Disable the hybrid ASSO/GreConD per-variant selection (pure
+    /// configured factorizer, as an ablation).
+    pub fn hybrid(mut self, hybrid: bool) -> Blasys {
+        self.hybrid = hybrid;
+        self
+    }
+
+    /// Set the decomposition limits `k × m`.
+    pub fn limits(mut self, k: usize, m: usize) -> Blasys {
+        self.decomp.max_inputs = k;
+        self.decomp.max_outputs = m;
+        self
+    }
+
+    /// Set the full decomposition configuration.
+    pub fn decomposition(mut self, cfg: DecompConfig) -> Blasys {
+        self.decomp = cfg;
+        self
+    }
+
+    /// Number of Monte-Carlo samples (the paper uses 1 M; the default
+    /// here is 10 k — raise it for final numbers).
+    pub fn samples(mut self, samples: usize) -> Blasys {
+        self.mc.samples = samples;
+        self
+    }
+
+    /// RNG seed for the Monte-Carlo stimulus.
+    pub fn seed(mut self, seed: u64) -> Blasys {
+        self.mc.seed = seed;
+        self
+    }
+
+    /// Stop at this error threshold instead of walking the full
+    /// trajectory.
+    pub fn threshold(mut self, threshold: f64) -> Blasys {
+        self.explore.stop = StopCriterion::ErrorThreshold(threshold);
+        self
+    }
+
+    /// Walk the full trajectory regardless of error (Figure 5 mode).
+    pub fn exhaust(mut self) -> Blasys {
+        self.explore.stop = StopCriterion::Exhaust;
+        self
+    }
+
+    /// The metric driving exploration and thresholds.
+    pub fn metric(mut self, metric: QorMetric) -> Blasys {
+        self.explore.metric = metric;
+        self
+    }
+
+    /// OR-semi-ring vs XOR-field decompressors.
+    pub fn algebra(mut self, algebra: Algebra) -> Blasys {
+        self.factorizer = self.factorizer.algebra(algebra);
+        self
+    }
+
+    /// Replace the factorizer wholesale (algorithm, thresholds, ...).
+    pub fn factorizer(mut self, factorizer: Factorizer) -> Blasys {
+        self.factorizer = factorizer;
+        self
+    }
+
+    /// Select the weighted-QoR scheme.
+    pub fn weighting(mut self, weighting: OutputWeighting) -> Blasys {
+        self.weighting = weighting;
+        self
+    }
+
+    /// Replace the cell library used for all estimation.
+    pub fn library(mut self, library: CellLibrary) -> Blasys {
+        self.library = library;
+        self
+    }
+
+    /// Run the full flow on a netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has more than 64 outputs or contains no
+    /// gates.
+    pub fn run(&self, nl: &Netlist) -> BlasysResult {
+        let partition = decompose(nl, &self.decomp);
+        assert!(
+            !partition.is_empty(),
+            "netlist must contain logic to approximate"
+        );
+        let output_weights = match self.weighting {
+            OutputWeighting::Uniform => None,
+            OutputWeighting::ValueInfluence => Some(influence_weights(nl, &partition)),
+        };
+        let profile_cfg = ProfileConfig {
+            factorizer: self.factorizer.clone(),
+            espresso: self.espresso,
+            library: self.library.clone(),
+            estimate: self.estimate,
+            output_weights,
+            hybrid: self.hybrid,
+        };
+        let profiles = profile_partition(nl, &partition, &profile_cfg);
+        let mut evaluator = match &self.stimulus {
+            Some(stim) => Evaluator::with_stimulus(nl, &partition, stim.clone()),
+            None => Evaluator::new(nl, &partition, &self.mc),
+        };
+        let trajectory = explore(&mut evaluator, &profiles, &self.explore);
+        BlasysResult {
+            original: nl.clone(),
+            partition,
+            profiles,
+            trajectory,
+            library: self.library.clone(),
+            estimate: self.estimate,
+        }
+    }
+}
+
+/// Per-cluster output weights: each subcircuit output is weighted by
+/// the *least* significant primary-output bit it can reach (powers of
+/// two, exponent capped). In an arithmetic network this is the
+/// signal's numeric column: a partial-product or sum signal of column
+/// `c` first influences output bit `c`, so an error on it is worth
+/// about `2^c` — the paper's powers-of-two weighting generalized to
+/// internal signals. (Using the *highest* reachable bit degenerates to
+/// uniform weights: almost every internal signal can reach the MSB.)
+fn influence_weights(nl: &Netlist, partition: &Partition) -> Vec<Vec<f64>> {
+    const EXP_CAP: u32 = 20;
+    // reach[node] = bitset of POs reachable from node.
+    let mut reach = vec![0u64; nl.len()];
+    for (po_idx, o) in nl.outputs().iter().enumerate() {
+        reach[o.node().index()] |= 1u64 << po_idx.min(63);
+    }
+    for i in (0..nl.len()).rev() {
+        let r = reach[i];
+        let node = nl.node(blasys_logic::NodeId::from_index(i));
+        if node.kind().is_gate() {
+            for f in node.fanins() {
+                reach[f.index()] |= r;
+            }
+        }
+    }
+    partition
+        .clusters()
+        .iter()
+        .map(|c| {
+            c.outputs()
+                .iter()
+                .map(|&n| {
+                    let r = reach[n.index()];
+                    if r == 0 {
+                        return 1.0;
+                    }
+                    let low = r.trailing_zeros();
+                    (1u64 << low.min(EXP_CAP)) as f64
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Everything the flow produced: the partition, the per-subcircuit
+/// profiles, the exploration trajectory, and synthesis services to
+/// materialize any trajectory point as a measured netlist.
+#[derive(Debug, Clone)]
+pub struct BlasysResult {
+    original: Netlist,
+    partition: Partition,
+    profiles: Vec<SubcircuitProfile>,
+    trajectory: Vec<TrajectoryPoint>,
+    library: CellLibrary,
+    estimate: EstimateConfig,
+}
+
+impl BlasysResult {
+    /// The input netlist.
+    pub fn original(&self) -> &Netlist {
+        &self.original
+    }
+
+    /// The k×m-cut partition used.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Per-subcircuit factorization profiles.
+    pub fn profiles(&self) -> &[SubcircuitProfile] {
+        &self.profiles
+    }
+
+    /// The recorded exploration trajectory (first point = exact).
+    pub fn trajectory(&self) -> &[TrajectoryPoint] {
+        &self.trajectory
+    }
+
+    /// Synthesize the netlist of one trajectory point: every cluster is
+    /// replaced by its active variant's compressor/decompressor (the
+    /// exact resynthesis for clusters still at full degree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is out of range.
+    pub fn synthesize_step(&self, step: usize) -> Netlist {
+        let point = &self.trajectory[step];
+        let impls: Vec<ClusterImpl> = self
+            .profiles
+            .iter()
+            .zip(&point.degrees)
+            .map(|(p, &f)| ClusterImpl::Replace(p.variant(f).netlist.clone()))
+            .collect();
+        substitute(&self.original, &self.partition, &impls).cleaned()
+    }
+
+    /// Area / power / delay of one trajectory point's synthesized
+    /// netlist.
+    pub fn metrics_step(&self, step: usize) -> DesignMetrics {
+        estimate(&self.synthesize_step(step), &self.library, &self.estimate)
+    }
+
+    /// The accurate baseline: every cluster resynthesized exactly
+    /// (step 0 of the trajectory).
+    pub fn baseline_metrics(&self) -> DesignMetrics {
+        self.metrics_step(0)
+    }
+
+    /// Index of the deepest trajectory point whose metric stays within
+    /// `threshold`.
+    pub fn best_step_under(&self, metric: QorMetric, threshold: f64) -> Option<usize> {
+        self.trajectory
+            .iter()
+            .rposition(|p| p.qor.value(metric) <= threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blasys_circuits::{adder, multiplier};
+    use blasys_logic::equiv::{check_equiv, EquivConfig};
+
+    fn quick(nl: &Netlist) -> BlasysResult {
+        Blasys::new().samples(2048).seed(3).run(nl)
+    }
+
+    #[test]
+    fn step0_synthesis_is_equivalent_to_original() {
+        let nl = adder(8);
+        let result = quick(&nl);
+        let exact = result.synthesize_step(0);
+        assert!(
+            check_equiv(&nl, &exact, &EquivConfig::default()).is_equal(),
+            "exact resynthesis must preserve function"
+        );
+    }
+
+    #[test]
+    fn full_approximation_shrinks_real_area() {
+        let nl = multiplier(4);
+        let result = quick(&nl);
+        let base = result.baseline_metrics();
+        let last = result.metrics_step(result.trajectory().len() - 1);
+        assert!(
+            last.area_um2 < base.area_um2,
+            "fully approximated design must be smaller: {} vs {}",
+            last.area_um2,
+            base.area_um2
+        );
+    }
+
+    #[test]
+    fn measured_error_of_synthesized_step_matches_trajectory() {
+        // The synthesized netlist at step s must show the same error the
+        // table network reported (same stimulus, same seed).
+        let nl = adder(6);
+        let result = quick(&nl);
+        let mid = result.trajectory().len() / 2;
+        let approx = result.synthesize_step(mid);
+        // Re-measure by direct simulation.
+        use blasys_logic::sim::random_stimulus;
+        use blasys_logic::Simulator;
+        let blocks = 32;
+        let stim = random_stimulus(&nl, blocks, 99);
+        let mut sim_g = Simulator::new(&nl);
+        let mut sim_a = Simulator::new(&approx);
+        let mut acc = crate::qor::QorAccumulator::new(nl.num_outputs());
+        let mut words = vec![0u64; nl.num_inputs()];
+        for b in 0..blocks {
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = stim[i][b];
+            }
+            let g = sim_g.run(&words).to_vec();
+            let a = sim_a.run(&words);
+            for lane in 0..64 {
+                let mut gv = 0u64;
+                let mut av = 0u64;
+                for o in 0..g.len() {
+                    gv |= (g[o] >> lane & 1) << o;
+                    av |= (a[o] >> lane & 1) << o;
+                }
+                acc.push(gv, av);
+            }
+        }
+        let direct = acc.finish();
+        let recorded = result.trajectory()[mid].qor;
+        // Different stimulus seeds, so allow sampling slack.
+        assert!(
+            (direct.avg_relative - recorded.avg_relative).abs()
+                < 0.05 + recorded.avg_relative * 0.5,
+            "direct {} vs recorded {}",
+            direct.avg_relative,
+            recorded.avg_relative
+        );
+    }
+
+    #[test]
+    fn weighted_flow_runs() {
+        let nl = multiplier(4);
+        let result = Blasys::new()
+            .samples(1024)
+            .weighting(OutputWeighting::ValueInfluence)
+            .run(&nl);
+        assert!(result.trajectory().len() > 1);
+    }
+
+    #[test]
+    fn best_step_under_respects_threshold() {
+        let nl = adder(8);
+        let result = quick(&nl);
+        if let Some(step) = result.best_step_under(QorMetric::AvgRelative, 0.05) {
+            assert!(result.trajectory()[step].qor.avg_relative <= 0.05);
+        }
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use blasys_circuits::multiplier;
+
+    #[test]
+    fn field_algebra_flow_end_to_end() {
+        let nl = multiplier(4);
+        let result = Blasys::new()
+            .samples(1024)
+            .algebra(Algebra::Field)
+            .run(&nl);
+        assert!(result.trajectory().len() > 1);
+        // Step 0 remains exact under XOR decompressors too.
+        assert_eq!(result.trajectory()[0].qor.avg_relative, 0.0);
+    }
+
+    #[test]
+    fn custom_stimulus_changes_measured_error() {
+        let nl = multiplier(4);
+        // Stimulus with operand a locked to zero: any approximation of
+        // the product path is invisible (product is always 0), so the
+        // explored error profile must differ from uniform stimulus.
+        let blocks = 32;
+        let mut stim = vec![vec![0u64; blocks]; nl.num_inputs()];
+        for (i, lanes) in stim.iter_mut().enumerate() {
+            if i >= 4 {
+                // b operand: pseudo-random lanes.
+                for (b, w) in lanes.iter_mut().enumerate() {
+                    *w = (i as u64 + 1)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .rotate_left(b as u32);
+                }
+            }
+        }
+        let biased = Blasys::new().stimulus(stim).run(&nl);
+        // With a = 0 the exact product is always 0, so any variant that
+        // keeps outputs at 0 shows zero error; the trajectory's final
+        // error under biased stimulus must be no larger than uniform.
+        let uniform = Blasys::new().samples(2048).run(&nl);
+        let b_last = biased.trajectory().last().unwrap().qor.avg_relative;
+        let u_last = uniform.trajectory().last().unwrap().qor.avg_relative;
+        assert!(b_last <= u_last + 1e-9, "biased {b_last} vs uniform {u_last}");
+    }
+
+    #[test]
+    fn smaller_windows_give_coarser_tradeoffs() {
+        let nl = multiplier(4);
+        let small = Blasys::new().samples(1024).limits(4, 4).run(&nl);
+        let large = Blasys::new().samples(1024).limits(8, 8).run(&nl);
+        // Smaller windows -> more clusters.
+        assert!(small.partition().len() >= large.partition().len());
+    }
+}

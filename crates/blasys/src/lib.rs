@@ -1,0 +1,53 @@
+//! BLASYS: approximate logic synthesis using Boolean matrix
+//! factorization — the core algorithm of Hashemi, Tann & Reda
+//! (DAC 2018).
+//!
+//! The flow mirrors the paper's Algorithm 1:
+//!
+//! 1. **decompose** the circuit into k×m-cut subcircuits
+//!    (`blasys-decomp`);
+//! 2. **profile** every subcircuit: extract its truth table and
+//!    factorize it at every degree `f = 1 .. m−1` with ASSO
+//!    (`blasys-bmf`), synthesizing the compressor/decompressor
+//!    variants (`blasys-synth`) — [`profile`];
+//! 3. **explore**: starting from the exact circuit, repeatedly
+//!    decrement the factorization degree of the subcircuit whose
+//!    approximation hurts whole-circuit QoR least, measured by
+//!    Monte-Carlo simulation — [`explore`] / [`montecarlo`];
+//! 4. **synthesize** the chosen configuration into a gate-level
+//!    netlist and measure area / power / delay — [`flow`].
+//!
+//! # Example
+//!
+//! ```
+//! use blasys_core::{Blasys, QorMetric};
+//! use blasys_logic::builder::{add, input_bus, mark_output_bus};
+//! use blasys_logic::Netlist;
+//!
+//! let mut nl = Netlist::new("add8");
+//! let a = input_bus(&mut nl, "a", 8);
+//! let b = input_bus(&mut nl, "b", 8);
+//! let s = add(&mut nl, &a, &b);
+//! mark_output_bus(&mut nl, "s", &s);
+//!
+//! let result = Blasys::new()
+//!     .samples(2048)
+//!     .run(&nl);
+//! // The trajectory walks from the exact design toward maximum
+//! // approximation; error grows, modeled area shrinks.
+//! assert!(result.trajectory().len() > 1);
+//! ```
+
+pub mod approx;
+pub mod explore;
+pub mod flow;
+pub mod montecarlo;
+pub mod pareto;
+pub mod profile;
+pub mod qor;
+
+pub use explore::{ExploreConfig, StopCriterion, TrajectoryPoint};
+pub use flow::{Blasys, BlasysResult};
+pub use montecarlo::{Evaluator, McConfig, Signal, TableNetwork};
+pub use profile::{profile_partition, SubcircuitProfile, Variant};
+pub use qor::{QorMetric, QorReport};

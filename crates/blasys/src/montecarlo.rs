@@ -1,0 +1,478 @@
+//! Monte-Carlo accuracy evaluation over a cluster-table network.
+//!
+//! Algorithm 1 evaluates `QoR(Cir(si → T_{si,fi}))` thousands of
+//! times. Rebuilding and re-simulating a gate-level netlist per probe
+//! would dominate runtime, so — like the paper — we simulate at
+//! *cluster granularity*: each subcircuit is represented by its
+//! (possibly approximate) truth table and the whole circuit becomes a
+//! DAG of table lookups. Swapping one cluster's table is O(1), and a
+//! QoR probe only re-evaluates the clusters downstream of the swap.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use blasys_decomp::{cluster_truth_table, Partition};
+use blasys_logic::{Netlist, NodeId, Simulator};
+
+use crate::qor::{QorAccumulator, QorReport};
+
+/// Where a cluster input or primary output takes its value from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Signal {
+    /// Primary input `i` of the original netlist.
+    Pi(usize),
+    /// Output `out` of cluster `idx`.
+    ClusterOut {
+        /// Producing cluster index.
+        idx: usize,
+        /// Output position within the producer.
+        out: usize,
+    },
+    /// A constant value.
+    Const(bool),
+}
+
+#[derive(Debug, Clone)]
+struct TnCluster {
+    inputs: Vec<Signal>,
+    /// Current table: `2^k` rows of packed output bits.
+    rows: Vec<u16>,
+    num_outputs: usize,
+}
+
+/// The cluster-level table network of a decomposed circuit.
+#[derive(Debug, Clone)]
+pub struct TableNetwork {
+    num_pis: usize,
+    clusters: Vec<TnCluster>,
+    po_sigs: Vec<Signal>,
+    /// `downstream[i]` = clusters (including `i`) whose value can
+    /// change when cluster `i`'s table changes, in topological order.
+    downstream: Vec<Vec<usize>>,
+}
+
+impl TableNetwork {
+    /// Build the network from a netlist and its partition, installing
+    /// every cluster's *exact* truth table.
+    pub fn new(nl: &Netlist, partition: &Partition) -> TableNetwork {
+        let signal_of = |node: NodeId| -> Signal {
+            use blasys_logic::GateKind;
+            match nl.node(node).kind() {
+                GateKind::Input => {
+                    let pos = nl
+                        .inputs()
+                        .iter()
+                        .position(|&p| p == node)
+                        .expect("input node registered");
+                    Signal::Pi(pos)
+                }
+                GateKind::Const0 => Signal::Const(false),
+                GateKind::Const1 => Signal::Const(true),
+                _ => {
+                    let ci = partition.cluster_of(node).expect("gate node placed");
+                    let out = partition.clusters()[ci]
+                        .outputs()
+                        .iter()
+                        .position(|&o| o == node)
+                        .expect("producer must expose the signal");
+                    Signal::ClusterOut { idx: ci, out }
+                }
+            }
+        };
+
+        let clusters: Vec<TnCluster> = partition
+            .clusters()
+            .iter()
+            .map(|c| {
+                let tt = cluster_truth_table(nl, c);
+                let rows: Vec<u16> = (0..tt.rows()).map(|r| tt.row_value(r) as u16).collect();
+                TnCluster {
+                    inputs: c.inputs().iter().map(|&n| signal_of(n)).collect(),
+                    rows,
+                    num_outputs: c.outputs().len(),
+                }
+            })
+            .collect();
+        let po_sigs: Vec<Signal> = nl.outputs().iter().map(|o| signal_of(o.node())).collect();
+
+        // Transitive downstream sets over the cluster DAG.
+        let n = clusters.len();
+        let mut direct_users: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ci, c) in clusters.iter().enumerate() {
+            for sig in &c.inputs {
+                if let Signal::ClusterOut { idx, .. } = sig {
+                    if !direct_users[*idx].contains(&ci) {
+                        direct_users[*idx].push(ci);
+                    }
+                }
+            }
+        }
+        let mut downstream: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in (0..n).rev() {
+            let mut mark = vec![false; n];
+            mark[i] = true;
+            for j in i..n {
+                if mark[j] {
+                    for &u in &direct_users[j] {
+                        mark[u] = true;
+                    }
+                }
+            }
+            downstream[i] = (i..n).filter(|&j| mark[j]).collect();
+        }
+
+        TableNetwork {
+            num_pis: nl.num_inputs(),
+            clusters,
+            po_sigs,
+            downstream,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the network has no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The current table of one cluster.
+    pub fn table(&self, cluster: usize) -> &[u16] {
+        &self.clusters[cluster].rows
+    }
+
+    /// Install a new table for a cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row count differs from the installed table.
+    pub fn set_table(&mut self, cluster: usize, rows: Vec<u16>) {
+        assert_eq!(
+            rows.len(),
+            self.clusters[cluster].rows.len(),
+            "table shape must match the cluster window"
+        );
+        self.clusters[cluster].rows = rows;
+    }
+
+    /// Clusters affected by a change to `cluster` (itself included).
+    pub fn downstream(&self, cluster: usize) -> &[usize] {
+        &self.downstream[cluster]
+    }
+
+    /// Number of primary inputs of the underlying circuit.
+    pub fn num_pis(&self) -> usize {
+        self.num_pis
+    }
+}
+
+/// Monte-Carlo stimulus and evaluation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McConfig {
+    /// Number of random samples (rounded up to a multiple of 64).
+    pub samples: usize,
+    /// RNG seed (stimulus is deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for McConfig {
+    fn default() -> McConfig {
+        McConfig {
+            samples: 10_000,
+            seed: 0xB1A5_1234,
+        }
+    }
+}
+
+/// A reusable QoR evaluator: fixed stimulus, golden outputs from the
+/// exact netlist, probe-and-commit table swaps.
+#[derive(Debug)]
+pub struct Evaluator {
+    network: TableNetwork,
+    /// `stimulus[pi][block]`.
+    stimulus: Vec<Vec<u64>>,
+    /// Golden output value per sample.
+    golden: Vec<u64>,
+    /// Cached cluster-output words of the *current* network:
+    /// `values[cluster][output][block]`.
+    values: Vec<Vec<Vec<u64>>>,
+    blocks: usize,
+    samples: usize,
+    output_bits: usize,
+}
+
+impl Evaluator {
+    /// Build an evaluator with uniform random stimulus: simulates the
+    /// exact netlist for golden outputs and seeds the table network
+    /// with exact tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has more than 64 outputs (output values
+    /// must fit a `u64`).
+    pub fn new(nl: &Netlist, partition: &Partition, cfg: &McConfig) -> Evaluator {
+        let blocks = cfg.samples.div_ceil(64).max(1);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let stimulus: Vec<Vec<u64>> = (0..nl.num_inputs())
+            .map(|_| (0..blocks).map(|_| rng.gen::<u64>()).collect())
+            .collect();
+        Evaluator::with_stimulus(nl, partition, stimulus)
+    }
+
+    /// Build an evaluator over caller-provided stimulus
+    /// (`stimulus[input][block]`, 64 samples per block word). Use this
+    /// when the workload's input distribution is not uniform — e.g.
+    /// accumulator inputs of MAC/SAD drawn from accumulation traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has more than 64 outputs, the stimulus is
+    /// empty, or its shape does not match the input count.
+    pub fn with_stimulus(
+        nl: &Netlist,
+        partition: &Partition,
+        stimulus: Vec<Vec<u64>>,
+    ) -> Evaluator {
+        assert!(nl.num_outputs() <= 64, "outputs must fit a u64 value");
+        assert_eq!(stimulus.len(), nl.num_inputs(), "one lane set per input");
+        let blocks = stimulus.first().map(|s| s.len()).unwrap_or(0).max(1);
+        assert!(
+            stimulus.iter().all(|s| s.len() == blocks),
+            "equal block count per input"
+        );
+        let samples = blocks * 64;
+        let network = TableNetwork::new(nl, partition);
+
+        // Golden outputs from gate-level simulation.
+        let mut golden = vec![0u64; samples];
+        let mut sim = Simulator::new(nl);
+        let mut words = vec![0u64; nl.num_inputs()];
+        for b in 0..blocks {
+            for (i, w) in words.iter_mut().enumerate() {
+                *w = stimulus[i][b];
+            }
+            let out = sim.run(&words);
+            for lane in 0..64 {
+                let mut v = 0u64;
+                for (o, w) in out.iter().enumerate() {
+                    v |= (w >> lane & 1) << o;
+                }
+                golden[b * 64 + lane] = v;
+            }
+        }
+
+        let mut ev = Evaluator {
+            values: network
+                .clusters
+                .iter()
+                .map(|c| vec![vec![0u64; blocks]; c.num_outputs])
+                .collect(),
+            network,
+            stimulus,
+            golden,
+            blocks,
+            samples,
+            output_bits: nl.num_outputs(),
+        };
+        ev.recompute_all();
+        ev
+    }
+
+    /// Number of samples in the fixed stimulus.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Immutable access to the table network.
+    pub fn network(&self) -> &TableNetwork {
+        &self.network
+    }
+
+    fn signal_word(&self, sig: Signal, block: usize) -> u64 {
+        match sig {
+            Signal::Pi(i) => self.stimulus[i][block],
+            Signal::ClusterOut { idx, out } => self.values[idx][out][block],
+            Signal::Const(false) => 0,
+            Signal::Const(true) => !0,
+        }
+    }
+
+    fn eval_cluster_block(&self, cluster: usize, block: usize, out: &mut [u64]) {
+        let c = &self.network.clusters[cluster];
+        // Gather per-lane row indices.
+        let mut idx = [0u16; 64];
+        for (i, &sig) in c.inputs.iter().enumerate() {
+            let mut w = self.signal_word(sig, block);
+            while w != 0 {
+                let lane = w.trailing_zeros() as usize;
+                w &= w - 1;
+                idx[lane] |= 1 << i;
+            }
+        }
+        for w in out.iter_mut() {
+            *w = 0;
+        }
+        for (lane, &ix) in idx.iter().enumerate() {
+            let row = c.rows[ix as usize];
+            let mut bits = row;
+            while bits != 0 {
+                let o = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                out[o] |= 1u64 << lane;
+            }
+        }
+    }
+
+    fn recompute_all(&mut self) {
+        for ci in 0..self.network.clusters.len() {
+            self.recompute_cluster(ci);
+        }
+    }
+
+    fn recompute_cluster(&mut self, ci: usize) {
+        let m = self.network.clusters[ci].num_outputs;
+        let mut out = vec![0u64; m];
+        for b in 0..self.blocks {
+            self.eval_cluster_block(ci, b, &mut out);
+            for (o, &w) in out.iter().enumerate() {
+                self.values[ci][o][b] = w;
+            }
+        }
+    }
+
+    /// QoR of the current network state.
+    pub fn qor_current(&self) -> QorReport {
+        let mut acc = QorAccumulator::new(self.output_bits);
+        for b in 0..self.blocks {
+            let po_words: Vec<u64> = self
+                .network
+                .po_sigs
+                .iter()
+                .map(|&s| self.signal_word(s, b))
+                .collect();
+            for lane in 0..64 {
+                let mut v = 0u64;
+                for (o, w) in po_words.iter().enumerate() {
+                    v |= (w >> lane & 1) << o;
+                }
+                acc.push(self.golden[b * 64 + lane], v);
+            }
+        }
+        acc.finish()
+    }
+
+    /// Probe: QoR if `cluster` used `rows`, leaving the network
+    /// unchanged. Only downstream clusters are re-evaluated.
+    pub fn qor_with(&mut self, cluster: usize, rows: &[u16]) -> QorReport {
+        let saved_rows = std::mem::replace(
+            &mut self.network.clusters[cluster].rows,
+            rows.to_vec(),
+        );
+        let affected: Vec<usize> = self.network.downstream(cluster).to_vec();
+        let saved_values: Vec<(usize, Vec<Vec<u64>>)> = affected
+            .iter()
+            .map(|&ci| (ci, self.values[ci].clone()))
+            .collect();
+        for &ci in &affected {
+            self.recompute_cluster(ci);
+        }
+        let report = self.qor_current();
+        // Restore.
+        self.network.clusters[cluster].rows = saved_rows;
+        for (ci, vals) in saved_values {
+            self.values[ci] = vals;
+        }
+        report
+    }
+
+    /// Commit a table swap permanently.
+    pub fn commit(&mut self, cluster: usize, rows: Vec<u16>) {
+        self.network.set_table(cluster, rows);
+        let affected: Vec<usize> = self.network.downstream(cluster).to_vec();
+        for ci in affected {
+            self.recompute_cluster(ci);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blasys_decomp::{decompose, DecompConfig};
+    use blasys_logic::builder::{add, input_bus, mark_output_bus};
+
+    fn adder(width: usize) -> Netlist {
+        let mut nl = Netlist::new("add");
+        let a = input_bus(&mut nl, "a", width);
+        let b = input_bus(&mut nl, "b", width);
+        let s = add(&mut nl, &a, &b);
+        mark_output_bus(&mut nl, "s", &s);
+        nl
+    }
+
+    fn small_cfg() -> McConfig {
+        McConfig {
+            samples: 1024,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn exact_network_matches_golden() {
+        let nl = adder(8);
+        let part = decompose(&nl, &DecompConfig::default());
+        let ev = Evaluator::new(&nl, &part, &small_cfg());
+        let r = ev.qor_current();
+        assert_eq!(r.avg_relative, 0.0, "exact tables must be error-free");
+        assert_eq!(r.bit_error_rate, 0.0);
+    }
+
+    #[test]
+    fn probing_does_not_mutate() {
+        let nl = adder(8);
+        let part = decompose(&nl, &DecompConfig::default());
+        let mut ev = Evaluator::new(&nl, &part, &small_cfg());
+        let zeros = vec![0u16; ev.network().table(0).len()];
+        let probe = ev.qor_with(0, &zeros);
+        assert!(probe.avg_relative > 0.0, "zeroing a cluster must hurt");
+        let after = ev.qor_current();
+        assert_eq!(after.avg_relative, 0.0, "probe must roll back");
+    }
+
+    #[test]
+    fn commit_applies_permanently() {
+        let nl = adder(8);
+        let part = decompose(&nl, &DecompConfig::default());
+        let mut ev = Evaluator::new(&nl, &part, &small_cfg());
+        let zeros = vec![0u16; ev.network().table(0).len()];
+        let probe = ev.qor_with(0, &zeros);
+        ev.commit(0, zeros);
+        let now = ev.qor_current();
+        assert_eq!(now, probe, "committed QoR must equal the probe");
+    }
+
+    #[test]
+    fn downstream_sets_are_topological_and_reflexive() {
+        let nl = adder(16);
+        let part = decompose(&nl, &DecompConfig::default());
+        let tn = TableNetwork::new(&nl, &part);
+        for i in 0..tn.len() {
+            let d = tn.downstream(i);
+            assert_eq!(d.first().copied(), Some(i));
+            assert!(d.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn evaluator_is_deterministic_per_seed() {
+        let nl = adder(6);
+        let part = decompose(&nl, &DecompConfig::default());
+        let mut e1 = Evaluator::new(&nl, &part, &small_cfg());
+        let mut e2 = Evaluator::new(&nl, &part, &small_cfg());
+        let zeros = vec![0u16; e1.network().table(0).len()];
+        assert_eq!(e1.qor_with(0, &zeros), e2.qor_with(0, &zeros));
+    }
+}

@@ -1,0 +1,106 @@
+//! Pareto-front extraction and normalization helpers for trade-off
+//! curves (the paper's Figure 5 presentation).
+
+use crate::explore::TrajectoryPoint;
+use crate::qor::QorMetric;
+
+/// A (error, area) point of a trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// Error value of the driving metric.
+    pub error: f64,
+    /// Modeled area, µm².
+    pub area_um2: f64,
+    /// Area normalized to the exact design.
+    pub norm_area: f64,
+    /// Trajectory step the point came from.
+    pub step: usize,
+}
+
+/// Project a trajectory onto (metric, normalized area) points.
+///
+/// # Panics
+///
+/// Panics if the trajectory is empty.
+pub fn tradeoff_curve(trajectory: &[TrajectoryPoint], metric: QorMetric) -> Vec<TradeoffPoint> {
+    assert!(!trajectory.is_empty(), "trajectory must not be empty");
+    let base = trajectory[0].model_area_um2.max(f64::MIN_POSITIVE);
+    trajectory
+        .iter()
+        .map(|p| TradeoffPoint {
+            error: p.qor.value(metric),
+            area_um2: p.model_area_um2,
+            norm_area: p.model_area_um2 / base,
+            step: p.step,
+        })
+        .collect()
+}
+
+/// Keep only Pareto-optimal points (no other point has both lower
+/// error and lower area), sorted by error.
+pub fn pareto_front(points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
+    let mut sorted: Vec<TradeoffPoint> = points.to_vec();
+    sorted.sort_by(|a, b| {
+        a.error
+            .partial_cmp(&b.error)
+            .unwrap()
+            .then(a.area_um2.partial_cmp(&b.area_um2).unwrap())
+    });
+    let mut front: Vec<TradeoffPoint> = Vec::new();
+    let mut best_area = f64::INFINITY;
+    for p in sorted {
+        if p.area_um2 < best_area {
+            best_area = p.area_um2;
+            front.push(p);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qor::QorReport;
+
+    fn point(step: usize, err: f64, area: f64) -> TrajectoryPoint {
+        TrajectoryPoint {
+            step,
+            changed_cluster: None,
+            degrees: vec![],
+            qor: QorReport {
+                avg_relative: err,
+                ..QorReport::default()
+            },
+            model_area_um2: area,
+        }
+    }
+
+    #[test]
+    fn curve_normalizes_to_first_point() {
+        let traj = vec![point(0, 0.0, 200.0), point(1, 0.1, 100.0)];
+        let c = tradeoff_curve(&traj, QorMetric::AvgRelative);
+        assert_eq!(c[0].norm_area, 1.0);
+        assert_eq!(c[1].norm_area, 0.5);
+    }
+
+    #[test]
+    fn pareto_front_removes_dominated() {
+        let pts = vec![
+            TradeoffPoint { error: 0.0, area_um2: 100.0, norm_area: 1.0, step: 0 },
+            TradeoffPoint { error: 0.1, area_um2: 90.0, norm_area: 0.9, step: 1 },
+            TradeoffPoint { error: 0.2, area_um2: 95.0, norm_area: 0.95, step: 2 }, // dominated
+            TradeoffPoint { error: 0.3, area_um2: 50.0, norm_area: 0.5, step: 3 },
+        ];
+        let front = pareto_front(&pts);
+        assert_eq!(front.len(), 3);
+        assert!(front.iter().all(|p| p.step != 2));
+        assert!(front.windows(2).all(|w| w[0].error <= w[1].error));
+        assert!(front.windows(2).all(|w| w[0].area_um2 > w[1].area_um2));
+    }
+
+    #[test]
+    fn single_point_is_its_own_front() {
+        let pts = vec![TradeoffPoint { error: 0.0, area_um2: 10.0, norm_area: 1.0, step: 0 }];
+        assert_eq!(pareto_front(&pts).len(), 1);
+    }
+}

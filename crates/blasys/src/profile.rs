@@ -1,0 +1,418 @@
+//! Factorization profiling (Algorithm 1, lines 3–10).
+//!
+//! For every subcircuit `s_i` with `m_i` outputs, profile every
+//! factorization degree `f = 1 .. m_i − 1`: run BMF on the window's
+//! truth table, record the approximate table `T_{si,f}`, synthesize
+//! the compressor + decompressor netlist, and estimate its area (the
+//! paper's design-metric model sums per-subcircuit areas during
+//! exploration).
+
+use blasys_bmf::{metrics, Algebra, Algorithm, Factorizer};
+use blasys_decomp::{cluster_truth_table, extract_cluster_netlist, Partition};
+use blasys_logic::{Netlist, TruthTable};
+use blasys_synth::estimate::{estimate, EstimateConfig};
+use blasys_synth::{synthesize_tt, CellLibrary, EspressoConfig};
+
+/// One factorization degree of one subcircuit.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Factorization degree `f` (equals the output count for the exact
+    /// variant).
+    pub degree: usize,
+    /// The approximate truth table `T_{si,f}` (packed rows).
+    pub table_rows: Vec<u16>,
+    /// Synthesized compressor + decompressor (or exact resynthesis for
+    /// `f = m_i`).
+    pub netlist: Netlist,
+    /// Estimated area of the variant, µm².
+    pub area_um2: f64,
+    /// Local truth-table Hamming distance to the exact window.
+    pub local_hamming: usize,
+}
+
+/// Per-subcircuit profile across every degree.
+#[derive(Debug, Clone)]
+pub struct SubcircuitProfile {
+    /// Cluster index in the partition.
+    pub cluster: usize,
+    /// Window inputs `k_i`.
+    pub num_inputs: usize,
+    /// Window outputs `m_i`.
+    pub num_outputs: usize,
+    /// `variants[d]` holds degree `d + 1`; the last entry is the exact
+    /// variant (`f = m_i`).
+    pub variants: Vec<Variant>,
+}
+
+impl SubcircuitProfile {
+    /// The variant at factorization degree `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is 0 or exceeds the output count.
+    pub fn variant(&self, f: usize) -> &Variant {
+        assert!(f >= 1 && f <= self.num_outputs, "degree out of range");
+        &self.variants[f - 1]
+    }
+
+    /// The exact variant (`f = m_i`).
+    pub fn exact(&self) -> &Variant {
+        &self.variants[self.num_outputs - 1]
+    }
+}
+
+/// Options controlling profiling.
+#[derive(Debug, Clone)]
+pub struct ProfileConfig {
+    /// The factorizer (algorithm, algebra, weighting) to profile with.
+    pub factorizer: Factorizer,
+    /// Two-level minimization settings for variant synthesis.
+    pub espresso: EspressoConfig,
+    /// Cell library for area estimation.
+    pub library: CellLibrary,
+    /// Estimator settings.
+    pub estimate: EstimateConfig,
+    /// Per-cluster output weights for weighted-QoR factorization
+    /// (`None` = uniform). Outer index: cluster.
+    pub output_weights: Option<Vec<Vec<f64>>>,
+    /// Also factorize each degree with the GreConD concept cover and
+    /// keep whichever variant actually saves hardware.
+    ///
+    /// ASSO minimizes truth-table error without regard for the
+    /// complexity of the factors, and its usage matrix `B` is often a
+    /// high-entropy function that no synthesizer can compress — the
+    /// exact problem the paper defers to future work as "literal-aware
+    /// approximations". The hybrid rule makes that concrete: a variant
+    /// whose synthesized area exceeds the exact subcircuit is useless,
+    /// so among the candidate factorizations those smaller than exact
+    /// are kept and the lowest-error one wins (falling back to the
+    /// smallest one when none saves area).
+    pub hybrid: bool,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> ProfileConfig {
+        ProfileConfig {
+            factorizer: Factorizer::new(),
+            espresso: EspressoConfig::default(),
+            library: CellLibrary::typical_65nm(),
+            estimate: EstimateConfig::default(),
+            output_weights: None,
+            hybrid: true,
+        }
+    }
+}
+
+/// Profile every cluster of a partition (Algorithm 1, lines 3–10).
+pub fn profile_partition(
+    nl: &Netlist,
+    partition: &Partition,
+    cfg: &ProfileConfig,
+) -> Vec<SubcircuitProfile> {
+    partition
+        .clusters()
+        .iter()
+        .enumerate()
+        .map(|(ci, cluster)| {
+            let tt = cluster_truth_table(nl, cluster);
+            let reference = extract_cluster_netlist(nl, cluster, &format!("s{ci}_ref"));
+            profile_window_with_reference(ci, &tt, Some(reference), cfg)
+        })
+        .collect()
+}
+
+/// Profile a single window truth table at every degree.
+pub fn profile_window(
+    cluster: usize,
+    tt: &TruthTable,
+    cfg: &ProfileConfig,
+) -> SubcircuitProfile {
+    profile_window_with_reference(cluster, tt, None, cfg)
+}
+
+/// Like [`profile_window`], but additionally considers a reference
+/// gate-level implementation for the exact variant (the original
+/// cluster logic is usually far smaller than a from-scratch
+/// resynthesis of its truth table).
+pub fn profile_window_with_reference(
+    cluster: usize,
+    tt: &TruthTable,
+    reference: Option<Netlist>,
+    cfg: &ProfileConfig,
+) -> SubcircuitProfile {
+    let k = tt.num_inputs();
+    let m = tt.num_outputs();
+    let matrix = table_to_matrix(tt);
+    let factorizer = match cfg
+        .output_weights
+        .as_ref()
+        .and_then(|w| w.get(cluster))
+        .cloned()
+    {
+        Some(w) => cfg.factorizer.clone().weights(w),
+        None => cfg.factorizer.clone(),
+    };
+
+    // Exact variant first: its area gates the hybrid selection rule.
+    // Prefer the original cluster gates over a from-scratch resynthesis
+    // when they are cheaper (they almost always are).
+    let resynth = synthesize_tt(tt, &format!("s{cluster}_exact"), &cfg.espresso);
+    let exact_netlist = match reference {
+        Some(reference)
+            if blasys_synth::gate_cost(&reference) < blasys_synth::gate_cost(&resynth) =>
+        {
+            reference
+        }
+        _ => resynth,
+    };
+    let exact_area = estimate(&exact_netlist, &cfg.library, &cfg.estimate).area_um2;
+
+    // Candidate factorizers for approximate degrees.
+    let mut candidates: Vec<Factorizer> = vec![factorizer.clone()];
+    if cfg.hybrid
+        && !matches!(factorizer.algebra_kind(), Algebra::Field)
+        && !matches!(factorizer.algorithm_kind(), Algorithm::GreConD)
+    {
+        candidates.push(factorizer.clone().algorithm(Algorithm::GreConD));
+    }
+
+    // Build the ladder top-down (f = m−1 .. 1) so each degree can also
+    // consider *truncating* the previous degree's choice — this keeps
+    // the ladder area-monotone, which Algorithm 1's error-greedy
+    // exploration implicitly relies on (its design-metric model sums
+    // variant areas).
+    let weights_for_trunc = cfg
+        .output_weights
+        .as_ref()
+        .and_then(|w| w.get(cluster))
+        .cloned();
+    let identity = Factorizer::new().factorize(&matrix, m);
+    let mut chain_fac = identity.clone();
+    let mut prev_area = exact_area;
+    let mut prev_fac = identity;
+    let mut variants_rev: Vec<Variant> = Vec::with_capacity(m);
+    for f in (1..m).rev() {
+        let mut built: Vec<(Variant, blasys_bmf::Factorization)> = Vec::new();
+
+        // Candidate 0: output nulling on the reference implementation.
+        // The identity-truncation chain keeps C rows as unit vectors,
+        // so its hardware is exactly the exact netlist with the dropped
+        // outputs tied to constant 0 — never larger than exact.
+        chain_fac = blasys_bmf::truncated(&chain_fac, &matrix, weights_for_trunc.as_deref());
+        if chain_fac
+            .c()
+            .iter_rows()
+            .all(|r| r.count_ones() <= 1)
+        {
+            let kept: u64 = (0..f).fold(0u64, |acc, l| acc | chain_fac.c().row(l));
+            let netlist = with_nulled_outputs(&exact_netlist, kept);
+            let area = estimate(&netlist, &cfg.library, &cfg.estimate).area_um2;
+            let local_hamming = metrics::hamming(&chain_fac.product(), &matrix);
+            built.push((
+                Variant {
+                    degree: f,
+                    table_rows: crate::approx::factorization_rows(&chain_fac),
+                    netlist,
+                    area_um2: area,
+                    local_hamming,
+                },
+                chain_fac.clone(),
+            ));
+        }
+
+        let mut facs: Vec<blasys_bmf::Factorization> = candidates
+            .iter()
+            .map(|fz| fz.factorize(&matrix, f))
+            .collect();
+        if prev_fac.degree() == f + 1 && f + 1 >= 2 {
+            facs.push(blasys_bmf::truncated(
+                &prev_fac,
+                &matrix,
+                weights_for_trunc.as_deref(),
+            ));
+        }
+        built.extend(facs.into_iter().map(|fac| {
+            let rows = crate::approx::factorization_rows(&fac);
+            let netlist = crate::approx::factorization_netlist(
+                k,
+                &fac,
+                &format!("s{cluster}_f{f}"),
+                &cfg.espresso,
+            );
+            let area = estimate(&netlist, &cfg.library, &cfg.estimate).area_um2;
+            let local_hamming = metrics::hamming(&fac.product(), &matrix);
+            (
+                Variant {
+                    degree: f,
+                    table_rows: rows,
+                    netlist,
+                    area_um2: area,
+                    local_hamming,
+                },
+                fac,
+            )
+        }));
+        // Selection: among candidates no larger than the previous rung,
+        // lowest local error wins; otherwise fall back to the smallest.
+        built.sort_by(|(a, _), (b, _)| {
+            let a_saves = a.area_um2 <= prev_area;
+            let b_saves = b.area_um2 <= prev_area;
+            b_saves.cmp(&a_saves).then_with(|| {
+                if a_saves && b_saves {
+                    a.local_hamming.cmp(&b.local_hamming)
+                } else {
+                    a.area_um2.partial_cmp(&b.area_um2).unwrap()
+                }
+            })
+        });
+        let (variant, fac) = built.into_iter().next().expect("at least one candidate");
+        prev_area = variant.area_um2.min(prev_area);
+        prev_fac = fac;
+        variants_rev.push(variant);
+    }
+    let mut variants: Vec<Variant> = variants_rev.into_iter().rev().collect();
+    variants.push(Variant {
+        degree: m,
+        table_rows: (0..tt.rows()).map(|r| tt.row_value(r) as u16).collect(),
+        netlist: exact_netlist,
+        area_um2: exact_area,
+        local_hamming: 0,
+    });
+    SubcircuitProfile {
+        cluster,
+        num_inputs: k,
+        num_outputs: m,
+        variants,
+    }
+}
+
+/// A copy of `base` with every output whose bit is clear in `kept`
+/// replaced by constant 0 (then dead logic removed).
+fn with_nulled_outputs(base: &Netlist, kept: u64) -> Netlist {
+    use blasys_logic::GateKind;
+    let mut out = Netlist::new(base.name().to_string());
+    let mut map: Vec<Option<blasys_logic::NodeId>> = vec![None; base.len()];
+    for (i, &pi) in base.inputs().iter().enumerate() {
+        map[pi.index()] = Some(out.add_input(base.input_name(i).to_string()));
+    }
+    for (id, node) in base.iter() {
+        if node.kind() == GateKind::Input {
+            continue;
+        }
+        let new = match node.kind() {
+            GateKind::Const0 => out.constant(false),
+            GateKind::Const1 => out.constant(true),
+            k if k.arity() == 1 => {
+                let a = map[node.fanin0().unwrap().index()].unwrap();
+                out.gate(k, a, a)
+            }
+            k => {
+                let a = map[node.fanin0().unwrap().index()].unwrap();
+                let b = map[node.fanin1().unwrap().index()].unwrap();
+                out.gate(k, a, b)
+            }
+        };
+        map[id.index()] = Some(new);
+    }
+    for (o, po) in base.outputs().iter().enumerate() {
+        let driver = if kept >> o & 1 == 1 {
+            map[po.node().index()].unwrap()
+        } else {
+            out.constant(false)
+        };
+        out.mark_output(po.name().to_string(), driver);
+    }
+    out.cleaned()
+}
+
+/// Convert a window truth table into the BMF input matrix `M`.
+pub fn table_to_matrix(tt: &TruthTable) -> blasys_bmf::BoolMatrix {
+    blasys_bmf::BoolMatrix::from_fn(tt.rows(), tt.num_outputs(), |r, c| tt.get(r, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blasys_decomp::{decompose, DecompConfig};
+    use blasys_logic::builder::{add, input_bus, mark_output_bus};
+
+    fn adder(width: usize) -> Netlist {
+        let mut nl = Netlist::new("add");
+        let a = input_bus(&mut nl, "a", width);
+        let b = input_bus(&mut nl, "b", width);
+        let s = add(&mut nl, &a, &b);
+        mark_output_bus(&mut nl, "s", &s);
+        nl
+    }
+
+    #[test]
+    fn profiles_cover_every_cluster_and_degree() {
+        let nl = adder(6);
+        let part = decompose(&nl, &DecompConfig::default());
+        let profiles = profile_partition(&nl, &part, &ProfileConfig::default());
+        assert_eq!(profiles.len(), part.len());
+        for (p, c) in profiles.iter().zip(part.clusters()) {
+            assert_eq!(p.num_outputs, c.outputs().len());
+            assert_eq!(p.variants.len(), p.num_outputs);
+            for (d, v) in p.variants.iter().enumerate() {
+                assert_eq!(v.degree, d + 1);
+                assert_eq!(v.table_rows.len(), 1 << p.num_inputs);
+                assert_eq!(v.netlist.num_inputs(), p.num_inputs);
+                assert_eq!(v.netlist.num_outputs(), p.num_outputs);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_variant_has_zero_local_error() {
+        let nl = adder(5);
+        let part = decompose(&nl, &DecompConfig::default());
+        let profiles = profile_partition(&nl, &part, &ProfileConfig::default());
+        for p in &profiles {
+            assert_eq!(p.exact().local_hamming, 0);
+            assert_eq!(p.exact().degree, p.num_outputs);
+        }
+    }
+
+    #[test]
+    fn local_error_nonincreasing_in_degree() {
+        let nl = adder(6);
+        let part = decompose(&nl, &DecompConfig::default());
+        let profiles = profile_partition(&nl, &part, &ProfileConfig::default());
+        for p in &profiles {
+            for w in p.variants.windows(2) {
+                assert!(
+                    w[1].local_hamming <= w[0].local_hamming,
+                    "cluster {}: degree {} error {} vs degree {} error {}",
+                    p.cluster,
+                    w[1].degree,
+                    w[1].local_hamming,
+                    w[0].degree,
+                    w[0].local_hamming
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn variant_netlist_realizes_its_table() {
+        let nl = adder(4);
+        let part = decompose(&nl, &DecompConfig::default());
+        let profiles = profile_partition(&nl, &part, &ProfileConfig::default());
+        for p in &profiles {
+            for v in &p.variants {
+                let tt = TruthTable::from_netlist(&v.netlist);
+                for row in 0..tt.rows() {
+                    assert_eq!(
+                        tt.row_value(row) as u16,
+                        v.table_rows[row],
+                        "cluster {} f={} row {}",
+                        p.cluster,
+                        v.degree,
+                        row
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Quality-of-results metrics.
+//!
+//! The paper reports *average relative error* and *average absolute
+//! error* over Monte-Carlo samples (Equations 1 and 2), plus raw
+//! truth-table Hamming distance for the illustrative example. Outputs
+//! are interpreted as unsigned integers assembled LSB-first from the
+//! primary output list.
+
+/// Which scalar metric drives design-space exploration and thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QorMetric {
+    /// `mean(|R − R'| / max(R, 1))` — the paper's Equation 1 (with the
+    /// usual guard for `R = 0` samples).
+    #[default]
+    AvgRelative,
+    /// `mean(|R − R'|)`, normalized by the maximum representable
+    /// output when reported as "normalized average absolute error".
+    AvgAbsolute,
+    /// Fraction of output *bits* that differ (sampled Hamming rate).
+    BitErrorRate,
+}
+
+/// Aggregated error statistics of one accuracy evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QorReport {
+    /// Average relative error (Equation 1).
+    pub avg_relative: f64,
+    /// Average absolute error (Equation 2), un-normalized.
+    pub avg_absolute: f64,
+    /// Average absolute error divided by the highest representable
+    /// output value (the normalization used in Figure 5).
+    pub norm_absolute: f64,
+    /// Fraction of differing output bits.
+    pub bit_error_rate: f64,
+    /// Largest absolute error observed.
+    pub worst_absolute: u64,
+    /// Fraction of samples with any error at all.
+    pub error_rate: f64,
+    /// Number of Monte-Carlo samples aggregated.
+    pub samples: usize,
+}
+
+impl QorReport {
+    /// The scalar value of the chosen metric.
+    pub fn value(&self, metric: QorMetric) -> f64 {
+        match metric {
+            QorMetric::AvgRelative => self.avg_relative,
+            QorMetric::AvgAbsolute => self.norm_absolute,
+            QorMetric::BitErrorRate => self.bit_error_rate,
+        }
+    }
+}
+
+/// Streaming accumulator building a [`QorReport`] from per-sample
+/// `(golden, approximate)` output pairs.
+#[derive(Debug, Clone, Default)]
+pub struct QorAccumulator {
+    sum_rel: f64,
+    sum_abs: f64,
+    bit_errors: u64,
+    err_samples: u64,
+    worst: u64,
+    n: u64,
+    output_bits: u32,
+}
+
+impl QorAccumulator {
+    /// New accumulator for outputs of the given bit width.
+    pub fn new(output_bits: usize) -> QorAccumulator {
+        QorAccumulator {
+            output_bits: output_bits as u32,
+            ..QorAccumulator::default()
+        }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, golden: u64, approx: u64) {
+        let diff = golden.abs_diff(approx);
+        self.sum_abs += diff as f64;
+        self.sum_rel += diff as f64 / golden.max(1) as f64;
+        self.bit_errors += (golden ^ approx).count_ones() as u64;
+        if diff != 0 {
+            self.err_samples += 1;
+        }
+        self.worst = self.worst.max(diff);
+        self.n += 1;
+    }
+
+    /// Finalize into a report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were pushed.
+    pub fn finish(&self) -> QorReport {
+        assert!(self.n > 0, "at least one sample required");
+        let n = self.n as f64;
+        let max_value = if self.output_bits >= 64 {
+            u64::MAX as f64
+        } else {
+            ((1u128 << self.output_bits) - 1) as f64
+        };
+        QorReport {
+            avg_relative: self.sum_rel / n,
+            avg_absolute: self.sum_abs / n,
+            norm_absolute: self.sum_abs / n / max_value.max(1.0),
+            bit_error_rate: self.bit_errors as f64 / (n * self.output_bits.max(1) as f64),
+            worst_absolute: self.worst,
+            error_rate: self.err_samples as f64 / n,
+            samples: self.n as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_circuit_has_zero_error() {
+        let mut acc = QorAccumulator::new(8);
+        for v in [0u64, 5, 255, 17] {
+            acc.push(v, v);
+        }
+        let r = acc.finish();
+        assert_eq!(r.avg_relative, 0.0);
+        assert_eq!(r.avg_absolute, 0.0);
+        assert_eq!(r.bit_error_rate, 0.0);
+        assert_eq!(r.worst_absolute, 0);
+        assert_eq!(r.error_rate, 0.0);
+        assert_eq!(r.samples, 4);
+    }
+
+    #[test]
+    fn relative_error_matches_equation_1() {
+        let mut acc = QorAccumulator::new(8);
+        acc.push(100, 90); // rel 0.1
+        acc.push(50, 60); // rel 0.2
+        let r = acc.finish();
+        assert!((r.avg_relative - 0.15).abs() < 1e-12);
+        assert!((r.avg_absolute - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_golden_guarded() {
+        let mut acc = QorAccumulator::new(4);
+        acc.push(0, 3);
+        let r = acc.finish();
+        assert_eq!(r.avg_relative, 3.0); // |0-3| / max(0,1)
+        assert_eq!(r.worst_absolute, 3);
+    }
+
+    #[test]
+    fn normalized_absolute_uses_output_width() {
+        let mut acc = QorAccumulator::new(4); // max 15
+        acc.push(0, 15);
+        let r = acc.finish();
+        assert!((r.norm_absolute - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_error_rate_counts_bits() {
+        let mut acc = QorAccumulator::new(8);
+        acc.push(0b0000_0000, 0b0000_0011); // 2 of 8 bits
+        let r = acc.finish();
+        assert!((r.bit_error_rate - 0.25).abs() < 1e-12);
+        assert!((r.error_rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_selector() {
+        let mut acc = QorAccumulator::new(8);
+        acc.push(100, 90);
+        let r = acc.finish();
+        assert_eq!(r.value(QorMetric::AvgRelative), r.avg_relative);
+        assert_eq!(r.value(QorMetric::AvgAbsolute), r.norm_absolute);
+        assert_eq!(r.value(QorMetric::BitErrorRate), r.bit_error_rate);
+    }
+}

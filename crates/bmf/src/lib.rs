@@ -1,0 +1,40 @@
+//! Boolean matrix factorization for approximate logic synthesis.
+//!
+//! Implements the factorization machinery of the BLASYS paper
+//! (DAC 2018): given a Boolean matrix `M` (`n × m`) and a factorization
+//! degree `f`, find `B` (`n × f`) and `C` (`f × m`) such that `M ≈ B ∘ C`
+//! where `∘` is the Boolean *semi-ring* product (AND/OR) or the GF(2)
+//! *field* product (AND/XOR).
+//!
+//! Three algorithms are provided:
+//!
+//! * [`asso`](crate::asso::asso) — the ASSO algorithm of Miettinen et
+//!   al., the paper's choice, extended with the paper's *weighted QoR*
+//!   cost so mismatches on high-significance columns are penalized more
+//!   (Section 3.2 of the paper);
+//! * [`grecond`](crate::grecon::grecond) — a GreConD-style greedy
+//!   concept cover, used as an ablation baseline;
+//! * [`factorize_xor`](crate::xor::factorize_xor) — an alternating
+//!   local-search heuristic for the GF(2) field variant.
+//!
+//! # Example
+//!
+//! ```
+//! use blasys_bmf::{BoolMatrix, Factorizer};
+//!
+//! // A rank-2 Boolean matrix.
+//! let m = BoolMatrix::from_rows(4, &[0b0011, 0b1100, 0b1111, 0b0000]);
+//! let fac = Factorizer::new().factorize(&m, 2);
+//! assert_eq!(fac.error(&m), 0.0); // exactly recoverable at f = 2
+//! ```
+
+pub mod asso;
+pub mod factorize;
+pub mod grecon;
+pub mod matrix;
+pub mod metrics;
+pub mod xor;
+
+pub use factorize::{truncated, Algebra, Algorithm, Factorization, Factorizer};
+pub use matrix::BoolMatrix;
+pub use metrics::{hamming, weighted_error};

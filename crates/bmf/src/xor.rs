@@ -1,0 +1,280 @@
+//! GF(2) ("field") Boolean matrix factorization.
+//!
+//! The paper notes that the decompressor can be built from XOR gates
+//! instead of OR gates when the factorization is carried out over the
+//! Boolean field GF(2). Exact GF(2) factorization at degree `f` exists
+//! iff `rank_GF2(M) ≤ f` (computable by Gaussian elimination); the
+//! approximate problem is NP-hard, so we use alternating optimization:
+//!
+//! * **usage step** — for each row of `M` choose the subset of basis
+//!   rows whose XOR minimizes the weighted error (exhaustive over
+//!   `2^f` subsets, which is exact for the `f ≤ 10` regime of BLASYS);
+//! * **basis step** — coordinate-descent over basis cells: flipping
+//!   `c[l][j]` toggles column `j` of every row using basis `l`; keep
+//!   the flip when it reduces error.
+//!
+//! Seeded from the GF(2)-rank row-echelon basis truncated to `f` rows.
+
+use crate::matrix::BoolMatrix;
+
+/// Parameters for [`factorize_xor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct XorParams {
+    /// Per-column cell weights; `None` means uniform.
+    pub weights: Option<Vec<f64>>,
+    /// Maximum alternating rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for XorParams {
+    fn default() -> XorParams {
+        XorParams {
+            weights: None,
+            max_rounds: 8,
+        }
+    }
+}
+
+#[inline]
+fn wsum(mut bits: u64, weights: &[f64]) -> f64 {
+    let mut s = 0.0;
+    while bits != 0 {
+        let j = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        s += weights[j];
+    }
+    s
+}
+
+/// GF(2) rank of the matrix (row space dimension), via Gaussian
+/// elimination over packed row words.
+pub fn gf2_rank(m: &BoolMatrix) -> usize {
+    let mut rows: Vec<u64> = m.iter_rows().filter(|&r| r != 0).collect();
+    let mut rank = 0usize;
+    for col in 0..m.num_cols() {
+        let Some(pos) = rows.iter().skip(rank).position(|r| r >> col & 1 == 1) else {
+            continue;
+        };
+        rows.swap(rank, rank + pos);
+        let pivot = rows[rank];
+        for r in rows.iter_mut().skip(rank + 1) {
+            if *r >> col & 1 == 1 {
+                *r ^= pivot;
+            }
+        }
+        rank += 1;
+        if rank == rows.len() {
+            break;
+        }
+    }
+    rank
+}
+
+/// Row-echelon basis of the row space (up to `limit` rows).
+fn echelon_basis(m: &BoolMatrix, limit: usize) -> Vec<u64> {
+    let mut rows: Vec<u64> = m.iter_rows().filter(|&r| r != 0).collect();
+    let mut basis: Vec<u64> = Vec::new();
+    for col in 0..m.num_cols() {
+        let Some(pos) = rows.iter().position(|r| r >> col & 1 == 1) else {
+            continue;
+        };
+        let pivot = rows.remove(pos);
+        rows.retain_mut(|r| {
+            if *r >> col & 1 == 1 {
+                *r ^= pivot;
+            }
+            *r != 0
+        });
+        basis.push(pivot);
+        if basis.len() == limit {
+            break;
+        }
+    }
+    basis
+}
+
+/// Factorize `m ≈ B ⊗ C` over GF(2) with degree `f`.
+///
+/// Returns `(B, C)`; the product uses XOR accumulation
+/// ([`BoolMatrix::xor_product`]). If `rank_GF2(m) ≤ f` the result is
+/// exact.
+///
+/// # Panics
+///
+/// Panics if `f == 0` or `f > 20` (the usage step is exhaustive in
+/// `2^f`).
+pub fn factorize_xor(m: &BoolMatrix, f: usize, params: &XorParams) -> (BoolMatrix, BoolMatrix) {
+    assert!(f >= 1, "factorization degree must be at least 1");
+    assert!(f <= 20, "exhaustive usage step limited to f <= 20");
+    let cols = m.num_cols();
+    let uniform;
+    let weights: &[f64] = match &params.weights {
+        Some(w) => {
+            assert_eq!(w.len(), cols, "one weight per column");
+            w
+        }
+        None => {
+            uniform = vec![1.0; cols];
+            &uniform
+        }
+    };
+
+    let mut c = BoolMatrix::zeroed(f, cols);
+    for (l, row) in echelon_basis(m, f).into_iter().enumerate() {
+        c.set_row(l, row);
+    }
+    let mut b = solve_usage(m, &c, weights);
+    let mut err = error_of(m, &b, &c, weights);
+
+    for _ in 0..params.max_rounds {
+        let changed = improve_basis(m, &b, &mut c, weights);
+        b = solve_usage(m, &c, weights);
+        let new_err = error_of(m, &b, &c, weights);
+        if !changed || new_err + 1e-12 >= err {
+            break;
+        }
+        err = new_err;
+    }
+    (b, c)
+}
+
+fn error_of(m: &BoolMatrix, b: &BoolMatrix, c: &BoolMatrix, weights: &[f64]) -> f64 {
+    let p = b.xor_product(c);
+    m.iter_rows()
+        .zip(p.iter_rows())
+        .map(|(a, q)| wsum(a ^ q, weights))
+        .sum()
+}
+
+/// Exact usage solve: per row, the best XOR-subset of basis rows.
+fn solve_usage(m: &BoolMatrix, c: &BoolMatrix, weights: &[f64]) -> BoolMatrix {
+    let f = c.num_rows();
+    let n = m.num_rows();
+    let mut xor_of = vec![0u64; 1usize << f];
+    for s in 1usize..1 << f {
+        let low = s.trailing_zeros() as usize;
+        xor_of[s] = xor_of[s & (s - 1)] ^ c.row(low);
+    }
+    let mut b = BoolMatrix::zeroed(n, f);
+    for i in 0..n {
+        let target = m.row(i);
+        let mut best_s = 0usize;
+        let mut best_e = f64::INFINITY;
+        for (s, &x) in xor_of.iter().enumerate() {
+            let e = wsum(x ^ target, weights);
+            if e < best_e {
+                best_e = e;
+                best_s = s;
+            }
+        }
+        b.set_row(i, best_s as u64);
+    }
+    b
+}
+
+/// One coordinate-descent sweep over basis cells; returns whether any
+/// cell flipped.
+fn improve_basis(m: &BoolMatrix, b: &BoolMatrix, c: &mut BoolMatrix, weights: &[f64]) -> bool {
+    let f = c.num_rows();
+    let cols = m.num_cols();
+    let n = m.num_rows();
+    // Current product rows.
+    let mut prod: Vec<u64> = b.xor_product(c).iter_rows().collect();
+    let mut changed = false;
+    for l in 0..f {
+        let users: Vec<usize> = (0..n).filter(|&i| b.get(i, l)).collect();
+        if users.is_empty() {
+            continue;
+        }
+        for j in 0..cols {
+            // Flipping c[l][j] toggles bit j of prod for every user row.
+            let mut delta = 0.0;
+            for &i in &users {
+                let cur_ok = (prod[i] ^ m.row(i)) >> j & 1 == 0;
+                delta += if cur_ok { weights[j] } else { -weights[j] };
+            }
+            if delta < 0.0 {
+                c.set(l, j, !c.get(l, j));
+                for &i in &users {
+                    prod[i] ^= 1 << j;
+                }
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_err(m: &BoolMatrix, b: &BoolMatrix, c: &BoolMatrix) -> usize {
+        crate::metrics::hamming(&b.xor_product(c), m)
+    }
+
+    #[test]
+    fn rank_of_identity() {
+        let m = BoolMatrix::from_fn(4, 4, |i, j| i == j);
+        assert_eq!(gf2_rank(&m), 4);
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        // row2 = row0 ^ row1
+        let m = BoolMatrix::from_rows(3, &[0b011, 0b110, 0b101]);
+        assert_eq!(gf2_rank(&m), 2);
+    }
+
+    #[test]
+    fn exact_when_rank_small() {
+        let m = BoolMatrix::from_rows(4, &[0b0011, 0b1100, 0b1111, 0b0000]);
+        assert_eq!(gf2_rank(&m), 2);
+        let (b, c) = factorize_xor(&m, 2, &XorParams::default());
+        assert_eq!(xor_err(&m, &b, &c), 0);
+    }
+
+    #[test]
+    fn xor_can_beat_or_on_xor_structured_data() {
+        // M built from XOR combinations: has OR-rank 3+ but GF(2) rank 2.
+        let r0 = 0b0111u64;
+        let r1 = 0b1100u64;
+        let m = BoolMatrix::from_rows(4, &[r0, r1, r0 ^ r1, 0]);
+        let (b, c) = factorize_xor(&m, 2, &XorParams::default());
+        assert_eq!(xor_err(&m, &b, &c), 0);
+    }
+
+    #[test]
+    fn error_nonincreasing_in_degree() {
+        let m = BoolMatrix::from_fn(16, 6, |i, j| (i * 11 + 3 * j) % 5 < 2);
+        let mut prev = usize::MAX;
+        for f in 1..=6 {
+            let (b, c) = factorize_xor(&m, f, &XorParams::default());
+            let e = xor_err(&m, &b, &c);
+            assert!(e <= prev, "f={f}: {e} > {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn zero_matrix_is_exact() {
+        let m = BoolMatrix::zeroed(4, 4);
+        let (b, c) = factorize_xor(&m, 1, &XorParams::default());
+        assert_eq!(xor_err(&m, &b, &c), 0);
+    }
+
+    #[test]
+    fn weighted_respects_column_importance() {
+        let w = crate::metrics::value_weights(4);
+        let m = BoolMatrix::from_fn(8, 4, |i, j| (i >> j) & 1 == 1);
+        let p = XorParams {
+            weights: Some(w.clone()),
+            max_rounds: 8,
+        };
+        let (b, c) = factorize_xor(&m, 2, &p);
+        let (bu, cu) = factorize_xor(&m, 2, &XorParams::default());
+        let werr = crate::metrics::weighted_error(&b.xor_product(&c), &m, &w);
+        let uerr = crate::metrics::weighted_error(&bu.xor_product(&cu), &m, &w);
+        assert!(werr <= uerr);
+    }
+}

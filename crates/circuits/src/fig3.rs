@@ -1,0 +1,67 @@
+//! The illustrative 4-input / 4-output circuit of the paper's
+//! Figure 3, given there by its full truth table.
+//!
+//! The paper factorizes this table at `f = 3, 2, 1` with ASSO under
+//! the OR semi-ring, reporting Hamming distances of 3, 6 and 13 and
+//! synthesized areas of 19.1, 16.2 and 9.4 µm² against 22.3 µm² for
+//! the exact circuit. The `fig3` experiment binary regenerates that
+//! series.
+
+use blasys_logic::TruthTable;
+
+/// The 16 rows of Figure 3's original truth table, packed LSB-first:
+/// bit 0 = `z1`, bit 1 = `z2`, bit 2 = `z3`, bit 3 = `z4`, row index =
+/// input assignment (input 1 is the table's leftmost input bit).
+pub const FIG3_ROWS: [u64; 16] = [
+    0b1000, // 0000 -> z=0001
+    0b1001, // 0001 -> 1001
+    0b1101, // 0010 -> 1011
+    0b1101, // 0011 -> 1011
+    0b0000, // 0100 -> 0000
+    0b0001, // 0101 -> 1000
+    0b1101, // 0110 -> 1011
+    0b1101, // 0111 -> 1011
+    0b0101, // 1000 -> 1010
+    0b0101, // 1001 -> 1010
+    0b0001, // 1010 -> 1000
+    0b0001, // 1011 -> 1000
+    0b1001, // 1100 -> 1001
+    0b1011, // 1101 -> 1101
+    0b0111, // 1110 -> 1110
+    0b0101, // 1111 -> 1010
+];
+
+/// The Figure 3 truth table as a [`TruthTable`] (4 inputs, 4 outputs;
+/// output 0 = `z1` … output 3 = `z4`).
+pub fn fig3_truth_table() -> TruthTable {
+    TruthTable::from_fn(4, 4, |row| FIG3_ROWS[row])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_rows() {
+        let tt = fig3_truth_table();
+        assert_eq!(tt.num_inputs(), 4);
+        assert_eq!(tt.num_outputs(), 4);
+        // Row 0000 in the paper reads "0 0 0 1" (z1 z2 z3 z4).
+        assert!(!tt.get(0, 0) && !tt.get(0, 1) && !tt.get(0, 2) && tt.get(0, 3));
+        // Row 1101 reads "1 1 0 1".
+        assert!(tt.get(0b1101, 0) && tt.get(0b1101, 1) && !tt.get(0b1101, 2) && tt.get(0b1101, 3));
+        // Row 1110 reads "1 1 1 0".
+        assert!(tt.get(0b1110, 0) && tt.get(0b1110, 1) && tt.get(0b1110, 2) && !tt.get(0b1110, 3));
+    }
+
+    #[test]
+    fn column_densities_match_paper() {
+        // z2 is 1 on exactly two rows (1101 and 1110); z1 everywhere
+        // except 0000 and 0100; z3 and z4 on eight rows each.
+        let tt = fig3_truth_table();
+        assert_eq!(tt.count_ones(0), 14);
+        assert_eq!(tt.count_ones(1), 2);
+        assert_eq!(tt.count_ones(2), 8);
+        assert_eq!(tt.count_ones(3), 8);
+    }
+}

@@ -1,0 +1,257 @@
+//! Datapath generators for the six paper benchmarks.
+
+use blasys_logic::builder::{
+    abs_diff, add, input_bus, mark_output_bus, mul, sub, zext, Bus,
+};
+use blasys_logic::Netlist;
+
+/// `width`-bit ripple-carry adder: `2·width` inputs, `width + 1`
+/// outputs (`Adder32` in the paper at `width = 32`).
+pub fn adder(width: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("adder{width}"));
+    let a = input_bus(&mut nl, "a", width);
+    let b = input_bus(&mut nl, "b", width);
+    let s = add(&mut nl, &a, &b);
+    mark_output_bus(&mut nl, "s", &s);
+    nl
+}
+
+/// `width × width` unsigned array multiplier: `2·width` inputs,
+/// `2·width` outputs (`Mult8` at `width = 8`).
+pub fn multiplier(width: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("mult{width}"));
+    let a = input_bus(&mut nl, "a", width);
+    let b = input_bus(&mut nl, "b", width);
+    let p = mul(&mut nl, &a, &b);
+    mark_output_bus(&mut nl, "p", &p);
+    nl
+}
+
+/// Butterfly structure (`BUT`): computes `a + b` and `a − b` on two
+/// `width`-bit operands. At `width = 8`: 16 inputs, 18 outputs
+/// (9-bit sum, 9-bit two's-complement difference), matching Table 1.
+pub fn butterfly(width: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("butterfly{width}"));
+    let a = input_bus(&mut nl, "a", width);
+    let b = input_bus(&mut nl, "b", width);
+    let s = add(&mut nl, &a, &b);
+    mark_output_bus(&mut nl, "s", &s);
+    // a - b over width+1 bits: sign-extend operands one bit, subtract
+    // modulo 2^(width+1); the top bit is the sign.
+    let a_ext = zext(&mut nl, &a, width + 1);
+    let b_ext = zext(&mut nl, &b, width + 1);
+    let (d, _no_borrow) = sub(&mut nl, &a_ext, &b_ext);
+    mark_output_bus(&mut nl, "d", &d);
+    nl
+}
+
+/// Multiply-accumulate (`MAC`): `acc + a·b` with `op_width`-bit
+/// operands and an `acc_width`-bit accumulator. At `(8, 32)`:
+/// 48 inputs, 33 outputs, matching Table 1.
+pub fn mac(op_width: usize, acc_width: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("mac{op_width}x{acc_width}"));
+    let a = input_bus(&mut nl, "a", op_width);
+    let b = input_bus(&mut nl, "b", op_width);
+    let acc = input_bus(&mut nl, "acc", acc_width);
+    let p = mul(&mut nl, &a, &b);
+    let p_ext = zext(&mut nl, &p, acc_width);
+    let s = add(&mut nl, &acc, &p_ext);
+    mark_output_bus(&mut nl, "s", &s);
+    nl
+}
+
+/// Sum of absolute differences (`SAD`): `acc + |a − b|` with
+/// `op_width`-bit operands and an `acc_width`-bit accumulator. At
+/// `(8, 32)`: 48 inputs, 33 outputs, matching Table 1.
+pub fn sad(op_width: usize, acc_width: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("sad{op_width}x{acc_width}"));
+    let a = input_bus(&mut nl, "a", op_width);
+    let b = input_bus(&mut nl, "b", op_width);
+    let acc = input_bus(&mut nl, "acc", acc_width);
+    let d = abs_diff(&mut nl, &a, &b);
+    let d_ext = zext(&mut nl, &d, acc_width);
+    let s = add(&mut nl, &acc, &d_ext);
+    mark_output_bus(&mut nl, "s", &s);
+    nl
+}
+
+/// 4-tap FIR filter (`FIR`): `Σ x_i · c_i` over four `width`-bit
+/// samples and four `width`-bit coefficients, truncated to `2·width`
+/// output bits. At `width = 8`: 64 inputs, 16 outputs, matching
+/// Table 1.
+pub fn fir4(width: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("fir4x{width}"));
+    let xs: Vec<Bus> = (0..4)
+        .map(|i| input_bus(&mut nl, &format!("x{i}_"), width))
+        .collect();
+    let cs: Vec<Bus> = (0..4)
+        .map(|i| input_bus(&mut nl, &format!("c{i}_"), width))
+        .collect();
+    let mut acc: Option<Bus> = None;
+    for (x, c) in xs.iter().zip(&cs) {
+        let p = mul(&mut nl, x, c);
+        acc = Some(match acc {
+            None => p,
+            Some(prev) => add(&mut nl, &prev, &p),
+        });
+    }
+    let y = acc.unwrap().truncated(2 * width);
+    mark_output_bus(&mut nl, "y", &y);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blasys_logic::Simulator;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Drive a netlist with one scalar assignment per named bus and
+    /// return the output value (outputs are marked LSB-first).
+    fn eval(nl: &Netlist, values: &[(&str, u64)]) -> u64 {
+        let mut words = vec![0u64; nl.num_inputs()];
+        for i in 0..nl.num_inputs() {
+            let name = nl.input_name(i);
+            for (prefix, v) in values {
+                if let Some(idx) = name.strip_prefix(prefix) {
+                    if let Ok(bit) = idx.parse::<usize>() {
+                        if v >> bit & 1 == 1 {
+                            words[i] = !0;
+                        }
+                    }
+                }
+            }
+        }
+        let mut sim = Simulator::new(nl);
+        let out = sim.run(&words);
+        let mut v = 0u64;
+        for (o, w) in out.iter().enumerate() {
+            v |= (w & 1) << o;
+        }
+        v
+    }
+
+    #[test]
+    fn paper_interfaces_match_table1() {
+        let cases = [
+            (adder(32), 64, 33),
+            (multiplier(8), 16, 16),
+            (butterfly(8), 16, 18),
+            (mac(8, 32), 48, 33),
+            (sad(8, 32), 48, 33),
+            (fir4(8), 64, 16),
+        ];
+        for (nl, ins, outs) in cases {
+            assert_eq!(nl.num_inputs(), ins, "{}", nl.name());
+            assert_eq!(nl.num_outputs(), outs, "{}", nl.name());
+            assert!(nl.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn adder_computes_sums() {
+        let nl = adder(16);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let a = rng.gen::<u64>() & 0xFFFF;
+            let b = rng.gen::<u64>() & 0xFFFF;
+            assert_eq!(eval(&nl, &[("a", a), ("b", b)]), a + b);
+        }
+    }
+
+    #[test]
+    fn multiplier_computes_products() {
+        let nl = multiplier(8);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let a = rng.gen::<u64>() & 0xFF;
+            let b = rng.gen::<u64>() & 0xFF;
+            assert_eq!(eval(&nl, &[("a", a), ("b", b)]), a * b);
+        }
+    }
+
+    #[test]
+    fn butterfly_computes_sum_and_difference() {
+        let nl = butterfly(8);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let a = rng.gen::<u64>() & 0xFF;
+            let b = rng.gen::<u64>() & 0xFF;
+            let v = eval(&nl, &[("a", a), ("b", b)]);
+            let s = v & 0x1FF;
+            let d = v >> 9 & 0x1FF;
+            assert_eq!(s, a + b);
+            assert_eq!(d, (a.wrapping_sub(b)) & 0x1FF, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn mac_accumulates_products() {
+        let nl = mac(8, 32);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..30 {
+            let a = rng.gen::<u64>() & 0xFF;
+            let b = rng.gen::<u64>() & 0xFF;
+            let acc = rng.gen::<u64>() & 0xFFFF_FFFF;
+            assert_eq!(
+                eval(&nl, &[("a", a), ("b", b), ("acc", acc)]),
+                acc + a * b
+            );
+        }
+    }
+
+    #[test]
+    fn sad_accumulates_absolute_differences() {
+        let nl = sad(8, 32);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..30 {
+            let a = rng.gen::<u64>() & 0xFF;
+            let b = rng.gen::<u64>() & 0xFF;
+            let acc = rng.gen::<u64>() & 0xFFFF_FFFF;
+            assert_eq!(
+                eval(&nl, &[("a", a), ("b", b), ("acc", acc)]),
+                acc + a.abs_diff(b)
+            );
+        }
+    }
+
+    #[test]
+    fn fir_computes_dot_product_mod_2_16() {
+        let nl = fir4(8);
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let xs: Vec<u64> = (0..4).map(|_| rng.gen::<u64>() & 0xFF).collect();
+            let cs: Vec<u64> = (0..4).map(|_| rng.gen::<u64>() & 0xFF).collect();
+            let expect: u64 = xs
+                .iter()
+                .zip(&cs)
+                .map(|(x, c)| x * c)
+                .sum::<u64>()
+                & 0xFFFF;
+            let inputs: Vec<(String, u64)> = (0..4)
+                .map(|i| (format!("x{i}_"), xs[i]))
+                .chain((0..4).map(|i| (format!("c{i}_"), cs[i])))
+                .collect();
+            let refs: Vec<(&str, u64)> =
+                inputs.iter().map(|(s, v)| (s.as_str(), *v)).collect();
+            assert_eq!(eval(&nl, &refs), expect);
+        }
+    }
+
+    #[test]
+    fn small_widths_are_exhaustively_correct() {
+        let nl = adder(3);
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                assert_eq!(eval(&nl, &[("a", a), ("b", b)]), a + b);
+            }
+        }
+        let nl = multiplier(3);
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                assert_eq!(eval(&nl, &[("a", a), ("b", b)]), a * b);
+            }
+        }
+    }
+}

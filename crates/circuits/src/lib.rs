@@ -1,0 +1,38 @@
+//! Benchmark circuit generators for the BLASYS reproduction.
+//!
+//! Table 1 of the paper evaluates six combinational testcases; this
+//! crate regenerates each with the exact interface the paper reports:
+//!
+//! | name    | function                        | I/O    |
+//! |---------|---------------------------------|--------|
+//! | Adder32 | 32-bit adder                    | 64/33  |
+//! | Mult8   | 8-bit multiplier                | 16/16  |
+//! | BUT     | butterfly structure             | 16/18  |
+//! | MAC     | multiply-accumulate (32-bit acc)| 48/33  |
+//! | SAD     | sum of absolute difference      | 48/33  |
+//! | FIR     | 4-tap FIR filter                | 64/16  |
+//!
+//! plus the 4-input/4-output illustrative circuit of Figure 3. The
+//! [`suite`] module bundles them for the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use blasys_circuits::{adder, multiplier};
+//!
+//! let add32 = adder(32);
+//! assert_eq!(add32.num_inputs(), 64);
+//! assert_eq!(add32.num_outputs(), 33);
+//!
+//! let mult8 = multiplier(8);
+//! assert_eq!(mult8.num_inputs(), 16);
+//! assert_eq!(mult8.num_outputs(), 16);
+//! ```
+
+pub mod fig3;
+pub mod generators;
+pub mod suite;
+
+pub use fig3::{fig3_truth_table, FIG3_ROWS};
+pub use generators::{adder, butterfly, fir4, mac, multiplier, sad};
+pub use suite::{all_benchmarks, benchmark, Benchmark};

@@ -1,0 +1,108 @@
+//! Registry of the paper's benchmark set.
+
+use blasys_logic::Netlist;
+
+use crate::generators;
+
+/// A named benchmark with its paper metadata.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// The paper's name for the testcase (`"Adder32"`, ...).
+    pub name: &'static str,
+    /// One-line functional description from Table 1.
+    pub description: &'static str,
+    /// Expected input count per Table 1.
+    pub num_inputs: usize,
+    /// Expected output count per Table 1.
+    pub num_outputs: usize,
+    build: fn() -> Netlist,
+}
+
+impl Benchmark {
+    /// Generate the netlist.
+    pub fn build(&self) -> Netlist {
+        (self.build)()
+    }
+}
+
+/// All six Table 1 benchmarks, in the paper's order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "Adder32",
+            description: "32-bit Adder",
+            num_inputs: 64,
+            num_outputs: 33,
+            build: || generators::adder(32),
+        },
+        Benchmark {
+            name: "Mult8",
+            description: "8-bit Multiplier",
+            num_inputs: 16,
+            num_outputs: 16,
+            build: || generators::multiplier(8),
+        },
+        Benchmark {
+            name: "BUT",
+            description: "Butterfly Structure",
+            num_inputs: 16,
+            num_outputs: 18,
+            build: || generators::butterfly(8),
+        },
+        Benchmark {
+            name: "MAC",
+            description: "Multiply and Accumulate with 32-bit Accumulator",
+            num_inputs: 48,
+            num_outputs: 33,
+            build: || generators::mac(8, 32),
+        },
+        Benchmark {
+            name: "SAD",
+            description: "Sum of Absolute Difference",
+            num_inputs: 48,
+            num_outputs: 33,
+            build: || generators::sad(8, 32),
+        },
+        Benchmark {
+            name: "FIR",
+            description: "4-Tap FIR Filter",
+            num_inputs: 64,
+            num_outputs: 16,
+            build: || generators::fir4(8),
+        },
+    ]
+}
+
+/// Look up one benchmark by (case-insensitive) name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_generated_interfaces() {
+        for b in all_benchmarks() {
+            let nl = b.build();
+            assert_eq!(nl.num_inputs(), b.num_inputs, "{}", b.name);
+            assert_eq!(nl.num_outputs(), b.num_outputs, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark("mult8").is_some());
+        assert!(benchmark("MULT8").is_some());
+        assert!(benchmark("nope").is_none());
+    }
+
+    #[test]
+    fn six_benchmarks_in_paper_order() {
+        let names: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
+        assert_eq!(names, ["Adder32", "Mult8", "BUT", "MAC", "SAD", "FIR"]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Circuit decomposition into k×m-cut subcircuits.
+//!
+//! BLASYS factorizes *truth tables*, so circuits must first be broken
+//! into subcircuits ("clusters") with at most `k` inputs and `m`
+//! outputs — the paper uses `k = m = 10` and cites KL-cuts
+//! (Martinello et al., DATE 2010). This crate provides:
+//!
+//! * [`decompose`] — greedy gain-driven
+//!   cluster growth over the topological frontier, honoring the
+//!   (≤ k inputs, ≤ m outputs) bound;
+//! * [`refine`] — a Kernighan–Lin-flavoured
+//!   boundary-move pass that shrinks cluster interfaces;
+//! * [`window`] — exhaustive truth-table extraction for
+//!   a cluster and whole-circuit *substitution* of approximate cluster
+//!   implementations (the `Cir(si → T)` operation of Algorithm 1).
+//!
+//! # Example
+//!
+//! ```
+//! use blasys_logic::builder::{add, input_bus, mark_output_bus};
+//! use blasys_logic::Netlist;
+//! use blasys_decomp::{decompose, DecompConfig};
+//!
+//! let mut nl = Netlist::new("add8");
+//! let a = input_bus(&mut nl, "a", 8);
+//! let b = input_bus(&mut nl, "b", 8);
+//! let s = add(&mut nl, &a, &b);
+//! mark_output_bus(&mut nl, "s", &s);
+//!
+//! let part = decompose(&nl, &DecompConfig::default());
+//! assert!(part.validate(&nl).is_ok());
+//! for c in part.clusters() {
+//!     assert!(c.inputs().len() <= 10 && c.outputs().len() <= 10);
+//! }
+//! ```
+
+pub mod cluster;
+pub mod kl;
+pub mod window;
+
+pub use cluster::{decompose, Cluster, DecompConfig, Partition};
+pub use kl::refine;
+pub use window::{cluster_truth_table, extract_cluster_netlist, substitute, ClusterImpl};

@@ -1,0 +1,429 @@
+//! BLIF (Berkeley Logic Interchange Format) subset reader / writer.
+//!
+//! Supports the combinational subset used by the standard approximate
+//! computing benchmark sets: `.model`, `.inputs`, `.outputs`, `.names`
+//! (with multi-cube single-output covers) and `.end`. Continuation lines
+//! (`\`) and `#` comments are handled. Latches and subckts are not.
+
+use std::collections::HashMap;
+
+use crate::error::LogicError;
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NodeId};
+
+/// Serialize a netlist as BLIF.
+///
+/// Every gate becomes a `.names` block with the gate's canonical
+/// two-level cover. Internal signals are named `n<i>`; primary inputs
+/// and outputs keep their registered names.
+pub fn to_blif(nl: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".model {}\n", sanitize(nl.name())));
+    out.push_str(".inputs");
+    for i in 0..nl.num_inputs() {
+        out.push(' ');
+        out.push_str(&sanitize(nl.input_name(i)));
+    }
+    out.push('\n');
+    out.push_str(".outputs");
+    for o in nl.outputs() {
+        out.push(' ');
+        out.push_str(&sanitize(o.name()));
+    }
+    out.push('\n');
+
+    // Signal name per node: PI names where available, else n<i>.
+    let mut names: Vec<String> = (0..nl.len()).map(|i| format!("n{i}")).collect();
+    for (idx, &pi) in nl.inputs().iter().enumerate() {
+        names[pi.index()] = sanitize(nl.input_name(idx));
+    }
+
+    for (id, node) in nl.iter() {
+        let n = &names[id.index()];
+        match node.kind() {
+            GateKind::Input => {}
+            GateKind::Const0 => out.push_str(&format!(".names {n}\n")),
+            GateKind::Const1 => out.push_str(&format!(".names {n}\n1\n")),
+            k => {
+                let a = &names[node.fanin0().unwrap().index()];
+                match k {
+                    GateKind::Buf => out.push_str(&format!(".names {a} {n}\n1 1\n")),
+                    GateKind::Not => out.push_str(&format!(".names {a} {n}\n0 1\n")),
+                    _ => {
+                        let b = &names[node.fanin1().unwrap().index()];
+                        let cover = match k {
+                            GateKind::And => "11 1\n",
+                            GateKind::Or => "1- 1\n-1 1\n",
+                            GateKind::Xor => "10 1\n01 1\n",
+                            GateKind::Nand => "0- 1\n-0 1\n",
+                            GateKind::Nor => "00 1\n",
+                            GateKind::Xnor => "11 1\n00 1\n",
+                            _ => unreachable!(),
+                        };
+                        out.push_str(&format!(".names {a} {b} {n}\n{cover}"));
+                    }
+                }
+            }
+        }
+    }
+    // Output aliases.
+    for o in nl.outputs() {
+        let src = &names[o.node().index()];
+        let dst = sanitize(o.name());
+        if *src != dst {
+            out.push_str(&format!(".names {src} {dst}\n1 1\n"));
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+/// Parse a BLIF model into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`LogicError::BlifParse`] on malformed input, unsupported
+/// constructs (latches, subcircuits), or references to undefined signals.
+pub fn from_blif(text: &str) -> Result<Netlist, LogicError> {
+    // Join continuation lines while tracking original numbering.
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (ln, raw) in text.lines().enumerate() {
+        let no_comment = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let piece = no_comment.trim_end();
+        let (cont, body) = match piece.strip_suffix('\\') {
+            Some(b) => (true, b),
+            None => (false, piece),
+        };
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(body);
+                if cont {
+                    pending = Some((start, acc));
+                } else {
+                    lines.push((start, acc));
+                }
+            }
+            None => {
+                if body.trim().is_empty() {
+                    continue;
+                }
+                if cont {
+                    pending = Some((ln + 1, body.to_string()));
+                } else {
+                    lines.push((ln + 1, body.to_string()));
+                }
+            }
+        }
+    }
+    if let Some((ln, _)) = pending {
+        return Err(LogicError::BlifParse {
+            line: ln,
+            message: "dangling line continuation".into(),
+        });
+    }
+
+    let err = |line: usize, message: &str| LogicError::BlifParse {
+        line,
+        message: message.into(),
+    };
+
+    let mut model_name = String::from("blif");
+    let mut input_names: Vec<String> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+    // .names blocks: (line, signal list incl. target, cover rows)
+    struct NamesBlock {
+        line: usize,
+        signals: Vec<String>,
+        cubes: Vec<(String, char)>,
+    }
+    let mut blocks: Vec<NamesBlock> = Vec::new();
+
+    let mut idx = 0;
+    while idx < lines.len() {
+        let (ln, line) = &lines[idx];
+        let mut toks = line.split_whitespace();
+        let head = toks.next().unwrap();
+        match head {
+            ".model" => {
+                model_name = toks.next().unwrap_or("blif").to_string();
+                idx += 1;
+            }
+            ".inputs" => {
+                input_names.extend(toks.map(str::to_string));
+                idx += 1;
+            }
+            ".outputs" => {
+                output_names.extend(toks.map(str::to_string));
+                idx += 1;
+            }
+            ".names" => {
+                let signals: Vec<String> = toks.map(str::to_string).collect();
+                if signals.is_empty() {
+                    return Err(err(*ln, ".names requires at least a target signal"));
+                }
+                let start = *ln;
+                idx += 1;
+                let mut cubes = Vec::new();
+                while idx < lines.len() && !lines[idx].1.trim_start().starts_with('.') {
+                    let (cln, row) = &lines[idx];
+                    let parts: Vec<&str> = row.split_whitespace().collect();
+                    let (inp, out) = match parts.len() {
+                        1 if signals.len() == 1 => (String::new(), parts[0]),
+                        2 => (parts[0].to_string(), parts[1]),
+                        _ => return Err(err(*cln, "malformed cover row")),
+                    };
+                    if inp.len() != signals.len() - 1 {
+                        return Err(err(*cln, "cover row width does not match fanins"));
+                    }
+                    let out_ch = out.chars().next().unwrap_or('1');
+                    if out_ch != '0' && out_ch != '1' {
+                        return Err(err(*cln, "cover output must be 0 or 1"));
+                    }
+                    cubes.push((inp, out_ch));
+                    idx += 1;
+                }
+                blocks.push(NamesBlock {
+                    line: start,
+                    signals,
+                    cubes,
+                });
+            }
+            ".end" => break,
+            ".latch" | ".subckt" | ".gate" => {
+                return Err(err(*ln, "unsupported BLIF construct"));
+            }
+            _ => return Err(err(*ln, "unknown directive")),
+        }
+    }
+
+    if input_names.is_empty() && blocks.is_empty() {
+        return Err(err(1, "empty model"));
+    }
+
+    let mut nl = Netlist::new(model_name);
+    let mut sig: HashMap<String, NodeId> = HashMap::new();
+    {
+        let mut seen = std::collections::HashSet::new();
+        for name in &input_names {
+            if !seen.insert(name.clone()) {
+                return Err(LogicError::DuplicateInput { name: name.clone() });
+            }
+            let id = nl.add_input(name.clone());
+            sig.insert(name.clone(), id);
+        }
+    }
+
+    // Resolve blocks in dependency order (simple fixed-point; BLIF allows
+    // any ordering of .names).
+    let mut remaining: Vec<&NamesBlock> = blocks.iter().collect();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|blk| {
+            let target = blk.signals.last().unwrap();
+            let fanins = &blk.signals[..blk.signals.len() - 1];
+            if !fanins.iter().all(|s| sig.contains_key(s)) {
+                return true; // keep, try later
+            }
+            let fan_ids: Vec<NodeId> = fanins.iter().map(|s| sig[s]).collect();
+            let node = build_cover(&mut nl, &fan_ids, &blk.cubes);
+            sig.insert(target.clone(), node);
+            false
+        });
+        if remaining.len() == before {
+            let blk = remaining[0];
+            return Err(err(
+                blk.line,
+                "undefined signal in .names fanin (or combinational cycle)",
+            ));
+        }
+    }
+
+    for name in &output_names {
+        let node = *sig.get(name).ok_or_else(|| LogicError::BlifParse {
+            line: 1,
+            message: format!("output {name} is never defined"),
+        })?;
+        nl.try_mark_output(name.clone(), node)?;
+    }
+    Ok(nl)
+}
+
+/// Build the OR-of-ANDs (or complemented form for `0`-output covers)
+/// described by a `.names` cover.
+fn build_cover(nl: &mut Netlist, fanins: &[NodeId], cubes: &[(String, char)]) -> NodeId {
+    if cubes.is_empty() {
+        return nl.constant(false);
+    }
+    let polarity_one = cubes[0].1 == '1';
+    let mut terms = Vec::new();
+    for (pattern, _) in cubes {
+        let mut term: Option<NodeId> = None;
+        for (i, c) in pattern.chars().enumerate() {
+            let lit = match c {
+                '1' => fanins[i],
+                '0' => nl.not(fanins[i]),
+                _ => continue,
+            };
+            term = Some(match term {
+                None => lit,
+                Some(t) => nl.and(t, lit),
+            });
+        }
+        terms.push(term.unwrap_or_else(|| nl.constant(true)));
+    }
+    let mut acc = terms[0];
+    for &t in &terms[1..] {
+        acc = nl.or(acc, t);
+    }
+    if polarity_one {
+        acc
+    } else {
+        nl.not(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::{check_equiv, EquivConfig};
+    use crate::truth::TruthTable;
+
+    fn sample_netlist() -> Netlist {
+        let mut nl = Netlist::new("demo");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let g1 = nl.and(a, b);
+        let g2 = nl.xor(g1, c);
+        let g3 = nl.nor(a, c);
+        nl.mark_output("y0", g2);
+        nl.mark_output("y1", g3);
+        nl
+    }
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let nl = sample_netlist();
+        let text = to_blif(&nl);
+        let back = from_blif(&text).expect("parse back");
+        assert_eq!(back.num_inputs(), 3);
+        assert_eq!(back.num_outputs(), 2);
+        assert!(check_equiv(&nl, &back, &EquivConfig::default()).is_equal());
+    }
+
+    #[test]
+    fn parses_multi_cube_cover() {
+        let text = "\
+.model m
+.inputs x y z
+.outputs f
+.names x y z f
+11- 1
+--1 1
+.end
+";
+        let nl = from_blif(text).unwrap();
+        let tt = TruthTable::from_netlist(&nl);
+        for row in 0..8usize {
+            let x = row & 1 != 0;
+            let y = row & 2 != 0;
+            let z = row & 4 != 0;
+            assert_eq!(tt.get(row, 0), (x && y) || z, "row {row}");
+        }
+    }
+
+    #[test]
+    fn parses_complemented_cover() {
+        let text = "\
+.model m
+.inputs x y
+.outputs f
+.names x y f
+11 0
+.end
+";
+        let nl = from_blif(text).unwrap();
+        let tt = TruthTable::from_netlist(&nl);
+        // f = NOT(x AND y)
+        assert!(tt.get(0, 0) && tt.get(1, 0) && tt.get(2, 0) && !tt.get(3, 0));
+    }
+
+    #[test]
+    fn parses_constants_and_buffer() {
+        let text = "\
+.model m
+.inputs a
+.outputs k0 k1 cp
+.names k0
+.names k1
+1
+.names a cp
+1 1
+.end
+";
+        let nl = from_blif(text).unwrap();
+        let tt = TruthTable::from_netlist(&nl);
+        assert!(!tt.get(0, 0) && !tt.get(1, 0));
+        assert!(tt.get(0, 1) && tt.get(1, 1));
+        assert!(!tt.get(0, 2) && tt.get(1, 2));
+    }
+
+    #[test]
+    fn out_of_order_names_blocks_resolve() {
+        let text = "\
+.model m
+.inputs a b
+.outputs f
+.names t f
+0 1
+.names a b t
+11 1
+.end
+";
+        let nl = from_blif(text).unwrap();
+        let tt = TruthTable::from_netlist(&nl);
+        assert!(tt.get(0, 0) && !tt.get(3, 0)); // f = NAND(a,b)
+    }
+
+    #[test]
+    fn continuation_lines_join() {
+        let text = ".model m\n.inputs a \\\n b\n.outputs f\n.names a b f\n11 1\n.end\n";
+        let nl = from_blif(text).unwrap();
+        assert_eq!(nl.num_inputs(), 2);
+    }
+
+    #[test]
+    fn rejects_undefined_signal() {
+        let text = ".model m\n.inputs a\n.outputs f\n.names ghost f\n1 1\n.end\n";
+        assert!(matches!(
+            from_blif(text),
+            Err(LogicError::BlifParse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let text = ".model m\n.inputs a\n.outputs f\n.latch a f re clk 0\n.end\n";
+        assert!(matches!(
+            from_blif(text),
+            Err(LogicError::BlifParse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_cover_width() {
+        let text = ".model m\n.inputs a b\n.outputs f\n.names a b f\n111 1\n.end\n";
+        assert!(from_blif(text).is_err());
+    }
+}

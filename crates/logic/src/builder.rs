@@ -1,0 +1,382 @@
+//! Word-level circuit construction DSL.
+//!
+//! The benchmark generators of the paper (Adder32, Mult8, BUT, MAC, SAD,
+//! FIR) are datapath circuits; this module provides the bus-level
+//! arithmetic operators they are assembled from. All operators lower to
+//! the 2-input gate primitives of [`Netlist`].
+//!
+//! Buses are little-endian: `bits[0]` is the least significant bit.
+
+use crate::error::LogicError;
+use crate::netlist::{Netlist, NodeId};
+
+/// An ordered collection of netlist bits forming a binary word
+/// (LSB first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bus {
+    bits: Vec<NodeId>,
+}
+
+impl Bus {
+    /// Wrap explicit bits (LSB first).
+    pub fn from_bits(bits: Vec<NodeId>) -> Bus {
+        Bus { bits }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The `i`-th bit (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn bit(&self, i: usize) -> NodeId {
+        self.bits[i]
+    }
+
+    /// Borrow all bits, LSB first.
+    pub fn bits(&self) -> &[NodeId] {
+        &self.bits
+    }
+
+    /// A copy truncated (or zero-extension must use
+    /// [`zext`](fn@crate::builder::zext)) to `width` bits.
+    pub fn truncated(&self, width: usize) -> Bus {
+        Bus {
+            bits: self.bits.iter().copied().take(width).collect(),
+        }
+    }
+}
+
+impl FromIterator<NodeId> for Bus {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Bus {
+        Bus {
+            bits: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Create a bus of fresh primary inputs named `prefix0..prefix{w-1}`.
+pub fn input_bus(nl: &mut Netlist, prefix: &str, width: usize) -> Bus {
+    (0..width)
+        .map(|i| nl.add_input(format!("{prefix}{i}")))
+        .collect()
+}
+
+/// A constant bus holding `value` (low `width` bits).
+pub fn const_bus(nl: &mut Netlist, value: u64, width: usize) -> Bus {
+    (0..width)
+        .map(|i| nl.constant(value >> i & 1 == 1))
+        .collect()
+}
+
+/// Zero-extend `a` to `width` bits (no-op if already at least as wide).
+pub fn zext(nl: &mut Netlist, a: &Bus, width: usize) -> Bus {
+    let zero = nl.constant(false);
+    let mut bits = a.bits.clone();
+    while bits.len() < width {
+        bits.push(zero);
+    }
+    Bus { bits }
+}
+
+/// Register every bit of `a` as an output named `name[i]`.
+pub fn mark_output_bus(nl: &mut Netlist, name: &str, a: &Bus) {
+    for (i, &b) in a.bits.iter().enumerate() {
+        nl.mark_output(format!("{name}[{i}]"), b);
+    }
+}
+
+/// One-bit full adder; returns `(sum, carry_out)`.
+pub fn full_adder(nl: &mut Netlist, a: NodeId, b: NodeId, cin: NodeId) -> (NodeId, NodeId) {
+    let axb = nl.xor(a, b);
+    let sum = nl.xor(axb, cin);
+    let t1 = nl.and(a, b);
+    let t2 = nl.and(axb, cin);
+    let cout = nl.or(t1, t2);
+    (sum, cout)
+}
+
+/// Ripple-carry addition with explicit carry-in; result has
+/// `max(width(a), width(b)) + 1` bits (the top bit is the carry out).
+pub fn add_with_carry(nl: &mut Netlist, a: &Bus, b: &Bus, cin: NodeId) -> Bus {
+    let w = a.width().max(b.width());
+    let a = zext(nl, a, w);
+    let b = zext(nl, b, w);
+    let mut carry = cin;
+    let mut bits = Vec::with_capacity(w + 1);
+    for i in 0..w {
+        let (s, c) = full_adder(nl, a.bit(i), b.bit(i), carry);
+        bits.push(s);
+        carry = c;
+    }
+    bits.push(carry);
+    Bus { bits }
+}
+
+/// `a + b`, width `max + 1` (carry included).
+pub fn add(nl: &mut Netlist, a: &Bus, b: &Bus) -> Bus {
+    let zero = nl.constant(false);
+    add_with_carry(nl, a, b, zero)
+}
+
+/// `(a + b) mod 2^width(a)` — modular addition that drops the carry.
+///
+/// # Errors
+///
+/// Returns [`LogicError::WidthMismatch`] if the buses differ in width.
+pub fn add_mod(nl: &mut Netlist, a: &Bus, b: &Bus) -> Result<Bus, LogicError> {
+    if a.width() != b.width() {
+        return Err(LogicError::WidthMismatch {
+            left: a.width(),
+            right: b.width(),
+        });
+    }
+    Ok(add(nl, a, b).truncated(a.width()))
+}
+
+/// `a - b` as a two's-complement subtraction over
+/// `w = max(width(a), width(b))` bits; returns `(difference, no_borrow)`.
+///
+/// `no_borrow` is 1 when `a >= b` (unsigned); the difference bits are
+/// then exact. When `a < b` the difference is the two's-complement
+/// encoding of the negative result.
+pub fn sub(nl: &mut Netlist, a: &Bus, b: &Bus) -> (Bus, NodeId) {
+    let w = a.width().max(b.width());
+    let a = zext(nl, a, w);
+    let b = zext(nl, b, w);
+    let nb: Bus = b.bits.iter().map(|&x| nl.not(x)).collect();
+    let one = nl.constant(true);
+    let full = add_with_carry(nl, &a, &nb, one);
+    let no_borrow = full.bit(w);
+    (full.truncated(w), no_borrow)
+}
+
+/// Two's-complement negation over the width of `a`.
+pub fn negate(nl: &mut Netlist, a: &Bus) -> Bus {
+    let inv: Bus = a.bits.iter().map(|&x| nl.not(x)).collect();
+    let zero_w = const_bus(nl, 0, a.width());
+    let one = nl.constant(true);
+    add_with_carry(nl, &inv, &zero_w, one).truncated(a.width())
+}
+
+/// `|a - b|` over `max(width(a), width(b))` bits (unsigned operands).
+pub fn abs_diff(nl: &mut Netlist, a: &Bus, b: &Bus) -> Bus {
+    let (diff, no_borrow) = sub(nl, a, b);
+    let neg = negate(nl, &diff);
+    // Select diff when a >= b else -(diff).
+    diff.bits
+        .iter()
+        .zip(neg.bits.iter())
+        .map(|(&d, &n)| nl.mux(no_borrow, d, n))
+        .collect()
+}
+
+/// Unsigned array multiplication; result has `width(a) + width(b)` bits.
+pub fn mul(nl: &mut Netlist, a: &Bus, b: &Bus) -> Bus {
+    if a.width() == 0 || b.width() == 0 {
+        return Bus { bits: Vec::new() };
+    }
+    // Partial-product rows accumulated with ripple adders (classic array
+    // multiplier, like the Mult8 testcase of the paper).
+    let mut acc: Option<Bus> = None;
+    for (j, &bj) in b.bits.iter().enumerate() {
+        let row: Bus = a.bits.iter().map(|&ai| nl.and(ai, bj)).collect();
+        acc = Some(match acc {
+            None => row,
+            Some(prev) => {
+                // prev covers bits [0, j + width(a)); row is shifted by j.
+                let zero = nl.constant(false);
+                let mut shifted = vec![zero; j];
+                shifted.extend(row.bits.iter().copied());
+                add(nl, &prev, &Bus::from_bits(shifted))
+            }
+        });
+    }
+    let full = acc.unwrap();
+    let want = a.width() + b.width();
+    zext(nl, &full, want).truncated(want)
+}
+
+/// Bitwise 2:1 mux over buses (select `a` when `s` is 1).
+///
+/// # Errors
+///
+/// Returns [`LogicError::WidthMismatch`] if the buses differ in width.
+pub fn mux_bus(nl: &mut Netlist, s: NodeId, a: &Bus, b: &Bus) -> Result<Bus, LogicError> {
+    if a.width() != b.width() {
+        return Err(LogicError::WidthMismatch {
+            left: a.width(),
+            right: b.width(),
+        });
+    }
+    Ok(a.bits
+        .iter()
+        .zip(b.bits.iter())
+        .map(|(&x, &y)| nl.mux(s, x, y))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    /// Drive a list of buses with scalar values and read back outputs as
+    /// an integer (assumes outputs were marked LSB-first).
+    fn eval_buses(nl: &Netlist, inputs: &[(&Bus, u64)]) -> u64 {
+        let mut words = vec![0u64; nl.num_inputs()];
+        let pi_pos: std::collections::HashMap<_, _> = nl
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        for (bus, value) in inputs {
+            for (i, &bit) in bus.bits().iter().enumerate() {
+                if value >> i & 1 == 1 {
+                    words[pi_pos[&bit]] = !0u64;
+                }
+            }
+        }
+        let mut sim = Simulator::new(nl);
+        let out = sim.run(&words);
+        let mut v = 0u64;
+        for (o, w) in out.iter().enumerate() {
+            v |= (w & 1) << o;
+        }
+        v
+    }
+
+    #[test]
+    fn add_is_addition() {
+        let mut nl = Netlist::new("add4");
+        let a = input_bus(&mut nl, "a", 4);
+        let b = input_bus(&mut nl, "b", 4);
+        let s = add(&mut nl, &a, &b);
+        assert_eq!(s.width(), 5);
+        mark_output_bus(&mut nl, "s", &s);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                assert_eq!(eval_buses(&nl, &[(&a, x), (&b, y)]), x + y);
+            }
+        }
+    }
+
+    #[test]
+    fn add_mod_wraps() {
+        let mut nl = Netlist::new("addm");
+        let a = input_bus(&mut nl, "a", 3);
+        let b = input_bus(&mut nl, "b", 3);
+        let s = add_mod(&mut nl, &a, &b).unwrap();
+        assert_eq!(s.width(), 3);
+        mark_output_bus(&mut nl, "s", &s);
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                assert_eq!(eval_buses(&nl, &[(&a, x), (&b, y)]), (x + y) % 8);
+            }
+        }
+    }
+
+    #[test]
+    fn add_mod_rejects_mismatch() {
+        let mut nl = Netlist::new("addm");
+        let a = input_bus(&mut nl, "a", 3);
+        let b = input_bus(&mut nl, "b", 4);
+        assert!(matches!(
+            add_mod(&mut nl, &a, &b),
+            Err(LogicError::WidthMismatch { left: 3, right: 4 })
+        ));
+    }
+
+    #[test]
+    fn sub_and_borrow() {
+        let mut nl = Netlist::new("sub4");
+        let a = input_bus(&mut nl, "a", 4);
+        let b = input_bus(&mut nl, "b", 4);
+        let (d, nb) = sub(&mut nl, &a, &b);
+        mark_output_bus(&mut nl, "d", &d);
+        nl.mark_output("nb", nb);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let v = eval_buses(&nl, &[(&a, x), (&b, y)]);
+                let diff = v & 0xF;
+                let no_borrow = v >> 4 & 1;
+                assert_eq!(no_borrow == 1, x >= y, "{x} {y}");
+                assert_eq!(diff, x.wrapping_sub(y) & 0xF, "{x} {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn abs_diff_is_absolute() {
+        let mut nl = Netlist::new("ad");
+        let a = input_bus(&mut nl, "a", 4);
+        let b = input_bus(&mut nl, "b", 4);
+        let d = abs_diff(&mut nl, &a, &b);
+        mark_output_bus(&mut nl, "d", &d);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                assert_eq!(eval_buses(&nl, &[(&a, x), (&b, y)]), x.abs_diff(y));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_is_multiplication() {
+        let mut nl = Netlist::new("mul4");
+        let a = input_bus(&mut nl, "a", 4);
+        let b = input_bus(&mut nl, "b", 4);
+        let p = mul(&mut nl, &a, &b);
+        assert_eq!(p.width(), 8);
+        mark_output_bus(&mut nl, "p", &p);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                assert_eq!(eval_buses(&nl, &[(&a, x), (&b, y)]), x * y);
+            }
+        }
+    }
+
+    #[test]
+    fn negate_is_twos_complement() {
+        let mut nl = Netlist::new("neg");
+        let a = input_bus(&mut nl, "a", 4);
+        let n = negate(&mut nl, &a);
+        mark_output_bus(&mut nl, "n", &n);
+        for x in 0..16u64 {
+            assert_eq!(eval_buses(&nl, &[(&a, x)]), x.wrapping_neg() & 0xF);
+        }
+    }
+
+    #[test]
+    fn mux_bus_selects() {
+        let mut nl = Netlist::new("m");
+        let s = nl.add_input("s");
+        let a = input_bus(&mut nl, "a", 3);
+        let b = input_bus(&mut nl, "b", 3);
+        let m = mux_bus(&mut nl, s, &a, &b).unwrap();
+        mark_output_bus(&mut nl, "m", &m);
+        let s_bus = Bus::from_bits(vec![s]);
+        for sv in 0..2u64 {
+            for x in 0..8u64 {
+                for y in 0..8u64 {
+                    let got = eval_buses(&nl, &[(&s_bus, sv), (&a, x), (&b, y)]);
+                    assert_eq!(got, if sv == 1 { x } else { y });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn const_bus_and_zext() {
+        let mut nl = Netlist::new("c");
+        let c = const_bus(&mut nl, 0b101, 3);
+        let z = zext(&mut nl, &c, 6);
+        assert_eq!(z.width(), 6);
+        mark_output_bus(&mut nl, "z", &z);
+        assert_eq!(eval_buses(&nl, &[]), 0b101);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared by the logic substrate.
+
+use std::fmt;
+
+/// Errors produced by netlist construction, validation and BLIF parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// A node id referenced a node that does not exist in the netlist.
+    InvalidNode {
+        /// The offending node index.
+        index: usize,
+    },
+    /// An output name was registered twice.
+    DuplicateOutput {
+        /// The duplicated output name.
+        name: String,
+    },
+    /// An input name was registered twice.
+    DuplicateInput {
+        /// The duplicated input name.
+        name: String,
+    },
+    /// The netlist has too many inputs for the requested operation
+    /// (e.g. exhaustive truth-table construction).
+    TooManyInputs {
+        /// Number of inputs in the netlist.
+        have: usize,
+        /// Maximum supported by the operation.
+        limit: usize,
+    },
+    /// A BLIF file could not be parsed.
+    BlifParse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Two buses (or a bus and an operation) had incompatible widths.
+    WidthMismatch {
+        /// Width of the left operand.
+        left: usize,
+        /// Width of the right operand.
+        right: usize,
+    },
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::InvalidNode { index } => {
+                write!(f, "invalid node reference: {index}")
+            }
+            LogicError::DuplicateOutput { name } => {
+                write!(f, "duplicate output name: {name}")
+            }
+            LogicError::DuplicateInput { name } => {
+                write!(f, "duplicate input name: {name}")
+            }
+            LogicError::TooManyInputs { have, limit } => {
+                write!(f, "netlist has {have} inputs, operation supports at most {limit}")
+            }
+            LogicError::BlifParse { line, message } => {
+                write!(f, "BLIF parse error at line {line}: {message}")
+            }
+            LogicError::WidthMismatch { left, right } => {
+                write!(f, "bus width mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            LogicError::InvalidNode { index: 3 },
+            LogicError::DuplicateOutput { name: "z".into() },
+            LogicError::DuplicateInput { name: "a".into() },
+            LogicError::TooManyInputs { have: 40, limit: 26 },
+            LogicError::BlifParse { line: 7, message: "bad cover".into() },
+            LogicError::WidthMismatch { left: 8, right: 4 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            // Lowercase leading letter, except acronyms like "BLIF".
+            let first = s.chars().next().unwrap();
+            assert!(first.is_lowercase() || s.starts_with("BLIF"));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LogicError>();
+    }
+}

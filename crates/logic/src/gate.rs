@@ -1,0 +1,206 @@
+//! Gate primitives of the netlist representation.
+
+use std::fmt;
+
+/// The kind of a netlist node.
+///
+/// The substrate uses a small fixed set of at-most-2-input primitives;
+/// wider functions are expressed as trees of these by the
+/// [`builder`](crate::builder) DSL and the technology mapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Constant logic 0.
+    Const0,
+    /// Constant logic 1.
+    Const1,
+    /// A primary input.
+    Input,
+    /// Identity buffer of one fanin.
+    Buf,
+    /// Inverter.
+    Not,
+    /// 2-input AND.
+    And,
+    /// 2-input OR.
+    Or,
+    /// 2-input XOR.
+    Xor,
+    /// 2-input NAND.
+    Nand,
+    /// 2-input NOR.
+    Nor,
+    /// 2-input XNOR.
+    Xnor,
+}
+
+/// All gate kinds, in declaration order. Useful for histograms.
+pub const ALL_KINDS: [GateKind; 11] = [
+    GateKind::Const0,
+    GateKind::Const1,
+    GateKind::Input,
+    GateKind::Buf,
+    GateKind::Not,
+    GateKind::And,
+    GateKind::Or,
+    GateKind::Xor,
+    GateKind::Nand,
+    GateKind::Nor,
+    GateKind::Xnor,
+];
+
+impl GateKind {
+    /// Number of fanins the gate consumes (0, 1 or 2).
+    ///
+    /// ```
+    /// use blasys_logic::GateKind;
+    /// assert_eq!(GateKind::Input.arity(), 0);
+    /// assert_eq!(GateKind::Not.arity(), 1);
+    /// assert_eq!(GateKind::Nand.arity(), 2);
+    /// ```
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Const0 | GateKind::Const1 | GateKind::Input => 0,
+            GateKind::Buf | GateKind::Not => 1,
+            _ => 2,
+        }
+    }
+
+    /// Whether swapping the two fanins leaves the function unchanged.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            GateKind::And
+                | GateKind::Or
+                | GateKind::Xor
+                | GateKind::Nand
+                | GateKind::Nor
+                | GateKind::Xnor
+        )
+    }
+
+    /// Whether this node computes logic (excludes inputs and constants).
+    pub fn is_gate(self) -> bool {
+        self.arity() > 0
+    }
+
+    /// Evaluate the gate on 64 input patterns at once (one per bit lane).
+    ///
+    /// For arity-0 kinds the arguments are ignored; `Const1` returns all
+    /// ones, `Const0` and `Input` return zero (input values are injected
+    /// by the simulator, not computed here).
+    pub fn eval_words(self, a: u64, b: u64) -> u64 {
+        match self {
+            GateKind::Const0 | GateKind::Input => 0,
+            GateKind::Const1 => !0,
+            GateKind::Buf => a,
+            GateKind::Not => !a,
+            GateKind::And => a & b,
+            GateKind::Or => a | b,
+            GateKind::Xor => a ^ b,
+            GateKind::Nand => !(a & b),
+            GateKind::Nor => !(a | b),
+            GateKind::Xnor => !(a ^ b),
+        }
+    }
+
+    /// Evaluate the gate on single boolean operands.
+    pub fn eval(self, a: bool, b: bool) -> bool {
+        self.eval_words(if a { !0 } else { 0 }, if b { !0 } else { 0 }) & 1 == 1
+    }
+
+    /// Short lowercase mnemonic (`"and"`, `"xnor"`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            GateKind::Const0 => "const0",
+            GateKind::Const1 => "const1",
+            GateKind::Input => "input",
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Xor => "xor",
+            GateKind::Nand => "nand",
+            GateKind::Nor => "nor",
+            GateKind::Xnor => "xnor",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_kind() {
+        for k in ALL_KINDS {
+            match k {
+                GateKind::Const0 | GateKind::Const1 | GateKind::Input => {
+                    assert_eq!(k.arity(), 0)
+                }
+                GateKind::Buf | GateKind::Not => assert_eq!(k.arity(), 1),
+                _ => assert_eq!(k.arity(), 2),
+            }
+        }
+    }
+
+    #[test]
+    fn eval_truth_tables() {
+        use GateKind::*;
+        let cases: [(GateKind, [bool; 4]); 6] = [
+            (And, [false, false, false, true]),
+            (Or, [false, true, true, true]),
+            (Xor, [false, true, true, false]),
+            (Nand, [true, true, true, false]),
+            (Nor, [true, false, false, false]),
+            (Xnor, [true, false, false, true]),
+        ];
+        for (kind, expect) in cases {
+            for (i, &e) in expect.iter().enumerate() {
+                let a = i & 1 != 0;
+                let b = i & 2 != 0;
+                assert_eq!(kind.eval(a, b), e, "{kind} ({a},{b})");
+            }
+        }
+        assert!(Not.eval(false, false));
+        assert!(!Not.eval(true, false));
+        assert!(Buf.eval(true, false));
+        assert!(Const1.eval(false, false));
+        assert!(!Const0.eval(true, true));
+    }
+
+    #[test]
+    fn word_eval_agrees_with_scalar() {
+        for k in ALL_KINDS {
+            for pattern in 0..4u64 {
+                let a = if pattern & 1 != 0 { !0 } else { 0 };
+                let b = if pattern & 2 != 0 { !0 } else { 0 };
+                let w = k.eval_words(a, b);
+                assert!(w == 0 || w == !0, "{k} must be lane-uniform");
+                assert_eq!(w & 1 == 1, k.eval(pattern & 1 != 0, pattern & 2 != 0));
+            }
+        }
+    }
+
+    #[test]
+    fn commutative_kinds_are_two_input() {
+        for k in ALL_KINDS {
+            if k.is_commutative() {
+                assert_eq!(k.arity(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn mnemonics_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in ALL_KINDS {
+            assert!(seen.insert(k.mnemonic()));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Gate-level logic substrate for the BLASYS reproduction.
+//!
+//! This crate is the foundation of the workspace: it provides a compact
+//! combinational [`Netlist`] representation with structural hashing and
+//! light constant folding, a 64-way bit-parallel [`sim`] simulator, packed
+//! [`TruthTable`]s, a word-level circuit [`builder`] DSL used by the
+//! benchmark generators, a BLIF subset reader/writer and equivalence
+//! checking utilities.
+//!
+//! The paper (BLASYS, DAC 2018) relies on Yosys/ABC plus Synopsys Design
+//! Compiler for these services; this crate is the self-contained
+//! substitution (see `DESIGN.md` at the workspace root).
+//!
+//! # Example
+//!
+//! ```
+//! use blasys_logic::{Netlist, TruthTable};
+//!
+//! let mut nl = Netlist::new("maj3");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let c = nl.add_input("c");
+//! let ab = nl.and(a, b);
+//! let bc = nl.and(b, c);
+//! let ac = nl.and(a, c);
+//! let t = nl.or(ab, bc);
+//! let maj = nl.or(t, ac);
+//! nl.mark_output("maj", maj);
+//!
+//! let tt = TruthTable::from_netlist(&nl);
+//! assert!(!tt.get(0b011_usize, 0) || tt.get(0b011, 0)); // row 3 = b,a set
+//! assert!(tt.get(0b111, 0));
+//! ```
+
+pub mod blif;
+pub mod builder;
+pub mod equiv;
+pub mod error;
+pub mod gate;
+pub mod netlist;
+pub mod sim;
+pub mod truth;
+
+pub use builder::Bus;
+pub use equiv::{check_equiv, Equivalence};
+pub use error::LogicError;
+pub use gate::GateKind;
+pub use netlist::{Netlist, Node, NodeId};
+pub use sim::Simulator;
+pub use truth::TruthTable;

@@ -1,0 +1,375 @@
+//! Packed multi-output truth tables.
+//!
+//! A [`TruthTable`] stores one bit column per output, packed 64 rows per
+//! word. Row `r` corresponds to the input assignment where input `i`
+//! takes bit `i` of `r` (input 0 is the least significant index).
+
+use crate::error::LogicError;
+use crate::netlist::Netlist;
+use crate::sim::Simulator;
+
+/// Maximum number of inputs for which exhaustive tables are supported.
+///
+/// 2^26 rows × one bit = 8 MiB per output column; enough for every
+/// window size used by BLASYS (the paper uses k = 10).
+pub const MAX_EXHAUSTIVE_INPUTS: usize = 26;
+
+/// A multi-output truth table with bit-packed columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    num_inputs: usize,
+    num_outputs: usize,
+    /// `columns[o]` holds 2^num_inputs bits for output `o`.
+    columns: Vec<Vec<u64>>,
+}
+
+fn words_for(rows: usize) -> usize {
+    rows.div_ceil(64)
+}
+
+impl TruthTable {
+    /// An all-zero table of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs > MAX_EXHAUSTIVE_INPUTS`.
+    pub fn zeroed(num_inputs: usize, num_outputs: usize) -> TruthTable {
+        assert!(
+            num_inputs <= MAX_EXHAUSTIVE_INPUTS,
+            "too many inputs for an exhaustive table"
+        );
+        let w = words_for(1usize << num_inputs);
+        TruthTable {
+            num_inputs,
+            num_outputs,
+            columns: vec![vec![0u64; w]; num_outputs],
+        }
+    }
+
+    /// Build a table by evaluating `f(row) -> output word` for every row;
+    /// bit `o` of the returned word is output `o`.
+    pub fn from_fn(
+        num_inputs: usize,
+        num_outputs: usize,
+        mut f: impl FnMut(usize) -> u64,
+    ) -> TruthTable {
+        let mut tt = TruthTable::zeroed(num_inputs, num_outputs);
+        for row in 0..tt.rows() {
+            let v = f(row);
+            for o in 0..num_outputs {
+                if v >> o & 1 == 1 {
+                    tt.set(row, o, true);
+                }
+            }
+        }
+        tt
+    }
+
+    /// Exhaustively simulate a netlist into its truth table.
+    ///
+    /// Row bit `i` is the value of the `i`-th primary input (in
+    /// [`Netlist::inputs`] order); column `o` is the `o`-th output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has more than [`MAX_EXHAUSTIVE_INPUTS`]
+    /// inputs; use [`TruthTable::try_from_netlist`] to handle that case.
+    pub fn from_netlist(nl: &Netlist) -> TruthTable {
+        TruthTable::try_from_netlist(nl).expect("netlist too wide for exhaustive table")
+    }
+
+    /// Fallible variant of [`TruthTable::from_netlist`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::TooManyInputs`] when exhaustive enumeration
+    /// is not feasible.
+    pub fn try_from_netlist(nl: &Netlist) -> Result<TruthTable, LogicError> {
+        let k = nl.num_inputs();
+        if k > MAX_EXHAUSTIVE_INPUTS {
+            return Err(LogicError::TooManyInputs {
+                have: k,
+                limit: MAX_EXHAUSTIVE_INPUTS,
+            });
+        }
+        let m = nl.num_outputs();
+        let mut tt = TruthTable::zeroed(k, m);
+        let rows = tt.rows();
+        let mut sim = Simulator::new(nl);
+        let mut pi = vec![0u64; k];
+        for block in 0..words_for(rows) {
+            for (i, w) in pi.iter_mut().enumerate() {
+                *w = input_pattern_word(i, block);
+            }
+            let out = sim.run(&pi);
+            let valid = (rows - block * 64).min(64);
+            let mask = if valid == 64 { !0u64 } else { (1u64 << valid) - 1 };
+            for (o, col) in tt.columns.iter_mut().enumerate() {
+                col[block] = out[o] & mask;
+            }
+        }
+        Ok(tt)
+    }
+
+    /// Number of inputs (`k`); the table has `2^k` rows.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of output columns.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Number of rows, `2^num_inputs`.
+    pub fn rows(&self) -> usize {
+        1usize << self.num_inputs
+    }
+
+    /// Read the bit at (`row`, `output`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `output` is out of range.
+    pub fn get(&self, row: usize, output: usize) -> bool {
+        assert!(row < self.rows());
+        self.columns[output][row / 64] >> (row % 64) & 1 == 1
+    }
+
+    /// Write the bit at (`row`, `output`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `output` is out of range.
+    pub fn set(&mut self, row: usize, output: usize, value: bool) {
+        assert!(row < self.rows());
+        let w = &mut self.columns[output][row / 64];
+        if value {
+            *w |= 1u64 << (row % 64);
+        } else {
+            *w &= !(1u64 << (row % 64));
+        }
+    }
+
+    /// All output bits of one row packed into a word (bit `o` = output
+    /// `o`). Requires at most 64 outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has more than 64 outputs or `row` is out of
+    /// range.
+    pub fn row_value(&self, row: usize) -> u64 {
+        assert!(self.num_outputs <= 64);
+        let mut v = 0u64;
+        for o in 0..self.num_outputs {
+            if self.get(row, o) {
+                v |= 1 << o;
+            }
+        }
+        v
+    }
+
+    /// Borrow the packed words of one output column.
+    pub fn column(&self, output: usize) -> &[u64] {
+        &self.columns[output]
+    }
+
+    /// Replace an entire output column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word count does not match.
+    pub fn set_column(&mut self, output: usize, words: Vec<u64>) {
+        assert_eq!(words.len(), self.columns[output].len());
+        self.columns[output] = words;
+        self.mask_tail(output);
+    }
+
+    fn mask_tail(&mut self, output: usize) {
+        let rows = self.rows();
+        let last_bits = rows % 64;
+        if last_bits != 0 {
+            let mask = (1u64 << last_bits) - 1;
+            if let Some(w) = self.columns[output].last_mut() {
+                *w &= mask;
+            }
+        }
+    }
+
+    /// Number of ones in an output column.
+    pub fn count_ones(&self, output: usize) -> usize {
+        self.columns[output]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Bitset (packed like a column) of rows where input `i` is 1.
+    ///
+    /// This is the workhorse of cube-cover algorithms: the cover of a
+    /// product term is an AND of these masks and their complements.
+    pub fn input_mask(&self, input: usize) -> Vec<u64> {
+        assert!(input < self.num_inputs);
+        let words = words_for(self.rows());
+        (0..words).map(|b| input_pattern_word(input, b)).collect()
+    }
+
+    /// Total Hamming distance between two tables of identical shape.
+    ///
+    /// This is the QoR measure of the paper's Figure 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn hamming_distance(&self, other: &TruthTable) -> usize {
+        assert_eq!(self.num_inputs, other.num_inputs, "shape mismatch");
+        assert_eq!(self.num_outputs, other.num_outputs, "shape mismatch");
+        let mut d = 0usize;
+        for (a, b) in self.columns.iter().zip(&other.columns) {
+            for (wa, wb) in a.iter().zip(b) {
+                d += (wa ^ wb).count_ones() as usize;
+            }
+        }
+        d
+    }
+
+    /// Column-weighted Hamming distance: each mismatching bit of output
+    /// `o` costs `weights[o]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or `weights.len() != num_outputs`.
+    pub fn weighted_distance(&self, other: &TruthTable, weights: &[f64]) -> f64 {
+        assert_eq!(weights.len(), self.num_outputs);
+        assert_eq!(self.num_inputs, other.num_inputs, "shape mismatch");
+        assert_eq!(self.num_outputs, other.num_outputs, "shape mismatch");
+        let mut d = 0.0;
+        for (o, (a, b)) in self.columns.iter().zip(&other.columns).enumerate() {
+            let bits: usize = a
+                .iter()
+                .zip(b)
+                .map(|(wa, wb)| (wa ^ wb).count_ones() as usize)
+                .sum();
+            d += bits as f64 * weights[o];
+        }
+        d
+    }
+}
+
+/// The 64-row block pattern of input `i` within block `block` of an
+/// exhaustive enumeration (row = block*64 + lane, value = bit `i` of row).
+pub(crate) fn input_pattern_word(i: usize, block: usize) -> u64 {
+    const LOW: [u64; 6] = [
+        0xAAAA_AAAA_AAAA_AAAA,
+        0xCCCC_CCCC_CCCC_CCCC,
+        0xF0F0_F0F0_F0F0_F0F0,
+        0xFF00_FF00_FF00_FF00,
+        0xFFFF_0000_FFFF_0000,
+        0xFFFF_FFFF_0000_0000,
+    ];
+    if i < 6 {
+        LOW[i]
+    } else if block >> (i - 6) & 1 == 1 {
+        !0
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn from_fn_roundtrip() {
+        let tt = TruthTable::from_fn(3, 2, |row| (row & 0b11) as u64);
+        for row in 0..8 {
+            assert_eq!(tt.get(row, 0), row & 1 == 1);
+            assert_eq!(tt.get(row, 1), row & 2 == 2);
+            assert_eq!(tt.row_value(row), (row & 3) as u64);
+        }
+    }
+
+    #[test]
+    fn netlist_xor_table() {
+        let mut nl = Netlist::new("x");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.xor(a, b);
+        nl.mark_output("z", g);
+        let tt = TruthTable::from_netlist(&nl);
+        assert_eq!(tt.rows(), 4);
+        assert!(!tt.get(0, 0));
+        assert!(tt.get(1, 0));
+        assert!(tt.get(2, 0));
+        assert!(!tt.get(3, 0));
+    }
+
+    #[test]
+    fn wide_netlist_crosses_word_blocks() {
+        // 8 inputs: AND-reduce; only the last row is 1.
+        let mut nl = Netlist::new("and8");
+        let mut acc = None;
+        for i in 0..8 {
+            let pi = nl.add_input(format!("i{i}"));
+            acc = Some(match acc {
+                None => pi,
+                Some(p) => nl.and(p, pi),
+            });
+        }
+        nl.mark_output("z", acc.unwrap());
+        let tt = TruthTable::from_netlist(&nl);
+        assert_eq!(tt.count_ones(0), 1);
+        assert!(tt.get(255, 0));
+    }
+
+    #[test]
+    fn input_mask_matches_get() {
+        let tt = TruthTable::zeroed(7, 1);
+        for i in 0..7 {
+            let mask = tt.input_mask(i);
+            for row in 0..tt.rows() {
+                let bit = mask[row / 64] >> (row % 64) & 1 == 1;
+                assert_eq!(bit, row >> i & 1 == 1, "input {i} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_distance_counts_flips() {
+        let mut a = TruthTable::zeroed(4, 2);
+        let mut b = TruthTable::zeroed(4, 2);
+        a.set(3, 0, true);
+        a.set(5, 1, true);
+        b.set(5, 1, true);
+        b.set(9, 1, true);
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    fn weighted_distance_weights_columns() {
+        let mut a = TruthTable::zeroed(3, 2);
+        let b = TruthTable::zeroed(3, 2);
+        a.set(0, 0, true); // weight 1
+        a.set(0, 1, true); // weight 2
+        let d = a.weighted_distance(&b, &[1.0, 2.0]);
+        assert!((d - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_column_masks_tail_bits() {
+        let mut tt = TruthTable::zeroed(3, 1); // 8 rows, 1 word
+        tt.set_column(0, vec![!0u64]);
+        assert_eq!(tt.count_ones(0), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn hamming_distance_shape_checked() {
+        let a = TruthTable::zeroed(3, 1);
+        let b = TruthTable::zeroed(4, 1);
+        let _ = a.hamming_distance(&b);
+    }
+}

@@ -1,0 +1,362 @@
+//! Product-term cubes over small input spaces.
+//!
+//! A [`Cube`] fixes a subset of the inputs to constants and leaves the
+//! rest free. Because BLASYS windows are small (the paper uses
+//! `k = 10` inputs), covers are manipulated through *row bitsets* over
+//! the full `2^k` input space — 16 words at `k = 10` — which makes
+//! containment, intersection and expansion single AND/OR sweeps.
+
+use std::fmt;
+
+/// A product term over `k ≤ 26` inputs.
+///
+/// `care` has bit `v` set when input `v` appears as a literal;
+/// `value` then gives the literal's polarity (1 = positive). Bits of
+/// `value` outside `care` are always zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    care: u32,
+    value: u32,
+}
+
+impl Cube {
+    /// The universal cube (no literals; covers every row).
+    pub const FULL: Cube = Cube { care: 0, value: 0 };
+
+    /// A cube from care/value masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` has bits outside `care`.
+    pub fn new(care: u32, value: u32) -> Cube {
+        assert_eq!(value & !care, 0, "value bits outside care set");
+        Cube { care, value }
+    }
+
+    /// The minterm cube fixing all `k` inputs to the bits of `row`.
+    pub fn minterm(row: usize, k: usize) -> Cube {
+        let care = if k == 32 { !0u32 } else { (1u32 << k) - 1 };
+        Cube {
+            care,
+            value: row as u32 & care,
+        }
+    }
+
+    /// Mask of inputs bound by a literal.
+    pub fn care(&self) -> u32 {
+        self.care
+    }
+
+    /// Polarity bits for the bound inputs.
+    pub fn value(&self) -> u32 {
+        self.value
+    }
+
+    /// Number of literals in the product term.
+    pub fn literal_count(&self) -> usize {
+        self.care.count_ones() as usize
+    }
+
+    /// Whether the cube contains the given input row.
+    pub fn contains_row(&self, row: usize) -> bool {
+        (row as u32 ^ self.value) & self.care == 0
+    }
+
+    /// Whether `self` covers every row `other` covers.
+    pub fn contains(&self, other: &Cube) -> bool {
+        // Every literal of self must be a literal of other with equal
+        // polarity.
+        self.care & !other.care == 0 && (self.value ^ other.value) & self.care == 0
+    }
+
+    /// Remove the literal on input `v` (enlarging the cube).
+    pub fn without_literal(&self, v: usize) -> Cube {
+        let bit = 1u32 << v;
+        Cube {
+            care: self.care & !bit,
+            value: self.value & !bit,
+        }
+    }
+
+    /// Add a literal on input `v` with the given polarity (shrinking
+    /// the cube).
+    pub fn with_literal(&self, v: usize, positive: bool) -> Cube {
+        let bit = 1u32 << v;
+        Cube {
+            care: self.care | bit,
+            value: if positive {
+                self.value | bit
+            } else {
+                self.value & !bit
+            },
+        }
+    }
+
+    /// Row bitset of the cube over the `2^k` input space
+    /// (64 rows per word), computed from per-input masks.
+    ///
+    /// `input_masks[v]` must be the bitset of rows where input `v` is 1
+    /// (as produced by `TruthTable::input_mask`).
+    pub fn coverage(&self, k: usize, input_masks: &[Vec<u64>]) -> Vec<u64> {
+        let words = (1usize << k).div_ceil(64);
+        let tail_bits = (1usize << k) % 64;
+        let mut cov = vec![!0u64; words];
+        if tail_bits != 0 {
+            cov[words - 1] = (1u64 << tail_bits) - 1;
+        }
+        for v in 0..k {
+            let bit = 1u32 << v;
+            if self.care & bit == 0 {
+                continue;
+            }
+            let positive = self.value & bit != 0;
+            for (w, mv) in cov.iter_mut().zip(&input_masks[v]) {
+                *w &= if positive { *mv } else { !*mv };
+            }
+        }
+        cov
+    }
+
+    /// Render in PLA notation (`-10-` style, input 0 leftmost).
+    pub fn to_pla(&self, k: usize) -> String {
+        (0..k)
+            .map(|v| {
+                if self.care >> v & 1 == 0 {
+                    '-'
+                } else if self.value >> v & 1 == 1 {
+                    '1'
+                } else {
+                    '0'
+                }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.care == 0 {
+            return f.write_str("(true)");
+        }
+        let mut first = true;
+        for v in 0..32 {
+            if self.care >> v & 1 == 1 {
+                if !first {
+                    f.write_str("&")?;
+                }
+                if self.value >> v & 1 == 0 {
+                    f.write_str("!")?;
+                }
+                write!(f, "x{v}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A sum-of-products cover for a single output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sop {
+    num_inputs: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Sop {
+    /// Build from explicit cubes.
+    pub fn new(num_inputs: usize, cubes: Vec<Cube>) -> Sop {
+        Sop { num_inputs, cubes }
+    }
+
+    /// The constant-false cover.
+    pub fn constant_false(num_inputs: usize) -> Sop {
+        Sop {
+            num_inputs,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// The constant-true cover.
+    pub fn constant_true(num_inputs: usize) -> Sop {
+        Sop {
+            num_inputs,
+            cubes: vec![Cube::FULL],
+        }
+    }
+
+    /// Number of inputs the cover ranges over.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The product terms.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of product terms.
+    pub fn cube_count(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total literal count (the classic two-level cost function).
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// Evaluate on one input row.
+    pub fn eval_row(&self, row: usize) -> bool {
+        self.cubes.iter().any(|c| c.contains_row(row))
+    }
+
+    /// Row bitset of the whole cover.
+    pub fn coverage(&self, input_masks: &[Vec<u64>]) -> Vec<u64> {
+        let words = (1usize << self.num_inputs).div_ceil(64);
+        let mut acc = vec![0u64; words];
+        for c in &self.cubes {
+            for (a, w) in acc.iter_mut().zip(c.coverage(self.num_inputs, input_masks)) {
+                *a |= w;
+            }
+        }
+        acc
+    }
+}
+
+impl fmt::Display for Sop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return f.write_str("(false)");
+        }
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" | ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The per-input row masks for a `k`-input space;
+/// `masks[v]` marks rows where input `v` is 1.
+pub fn input_masks(k: usize) -> Vec<Vec<u64>> {
+    let words = (1usize << k).div_ceil(64);
+    (0..k)
+        .map(|v| {
+            (0..words)
+                .map(|block| pattern_word(v, block))
+                .collect::<Vec<u64>>()
+        })
+        .collect()
+}
+
+fn pattern_word(i: usize, block: usize) -> u64 {
+    const LOW: [u64; 6] = [
+        0xAAAA_AAAA_AAAA_AAAA,
+        0xCCCC_CCCC_CCCC_CCCC,
+        0xF0F0_F0F0_F0F0_F0F0,
+        0xFF00_FF00_FF00_FF00,
+        0xFFFF_0000_FFFF_0000,
+        0xFFFF_FFFF_0000_0000,
+    ];
+    if i < 6 {
+        LOW[i]
+    } else if block >> (i - 6) & 1 == 1 {
+        !0
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minterm_covers_single_row() {
+        let c = Cube::minterm(0b101, 3);
+        assert!(c.contains_row(0b101));
+        assert!(!c.contains_row(0b100));
+        assert_eq!(c.literal_count(), 3);
+    }
+
+    #[test]
+    fn full_cube_covers_all() {
+        for row in 0..16 {
+            assert!(Cube::FULL.contains_row(row));
+        }
+        assert_eq!(Cube::FULL.literal_count(), 0);
+    }
+
+    #[test]
+    fn containment_order() {
+        let small = Cube::minterm(0b11, 2);
+        let big = small.without_literal(0);
+        assert!(big.contains(&small));
+        assert!(!small.contains(&big));
+        assert!(big.contains_row(0b10) && big.contains_row(0b11));
+    }
+
+    #[test]
+    fn with_literal_shrinks() {
+        let c = Cube::FULL.with_literal(1, false);
+        assert!(c.contains_row(0b00));
+        assert!(!c.contains_row(0b10));
+    }
+
+    #[test]
+    fn coverage_matches_contains_row() {
+        let masks = input_masks(7);
+        let c = Cube::new(0b0100101, 0b0000101);
+        let cov = c.coverage(7, &masks);
+        for row in 0..128usize {
+            let bit = cov[row / 64] >> (row % 64) & 1 == 1;
+            assert_eq!(bit, c.contains_row(row), "row {row}");
+        }
+    }
+
+    #[test]
+    fn sop_eval_and_coverage_agree() {
+        let masks = input_masks(4);
+        let s = Sop::new(
+            4,
+            vec![Cube::minterm(3, 4).without_literal(2), Cube::minterm(8, 4)],
+        );
+        let cov = s.coverage(&masks);
+        for row in 0..16usize {
+            let bit = cov[row / 64] >> (row % 64) & 1 == 1;
+            assert_eq!(bit, s.eval_row(row));
+        }
+    }
+
+    #[test]
+    fn literal_count_sums() {
+        let s = Sop::new(3, vec![Cube::minterm(0, 3), Cube::minterm(7, 3).without_literal(1)]);
+        assert_eq!(s.literal_count(), 5);
+        assert_eq!(s.cube_count(), 2);
+    }
+
+    #[test]
+    fn pla_rendering() {
+        let c = Cube::new(0b101, 0b001);
+        assert_eq!(c.to_pla(3), "1-0");
+    }
+
+    #[test]
+    fn constants() {
+        let t = Sop::constant_true(3);
+        let f = Sop::constant_false(3);
+        for row in 0..8 {
+            assert!(t.eval_row(row));
+            assert!(!f.eval_row(row));
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Cube::FULL.to_string(), "(true)");
+        let c = Cube::new(0b11, 0b01);
+        assert_eq!(c.to_string(), "x0&!x1");
+        assert_eq!(Sop::constant_false(2).to_string(), "(false)");
+    }
+}

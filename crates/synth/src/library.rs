@@ -1,0 +1,122 @@
+//! Standard-cell library model.
+//!
+//! The paper evaluates with Synopsys Design Compiler and an industrial
+//! 65 nm library in the typical corner. We model the library as a small
+//! table of per-gate constants chosen to sit in the right relative
+//! proportions for a 65 nm process (XOR ≈ 2× NAND area, inverter the
+//! smallest cell, wire/load delay folded into a per-fanout term). Only
+//! *relative* metrics matter for reproducing the paper's tables; see
+//! `DESIGN.md` for the substitution argument.
+
+use blasys_logic::GateKind;
+
+/// Electrical / physical constants of one cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Leakage power in nW.
+    pub leakage_nw: f64,
+    /// Input pin capacitance in fF.
+    pub input_cap_ff: f64,
+    /// Intrinsic delay in ps.
+    pub delay_ps: f64,
+    /// Additional delay per fanout in ps (load term).
+    pub delay_per_fanout_ps: f64,
+}
+
+/// A technology library: one [`Cell`] per mappable [`GateKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellLibrary {
+    name: String,
+    inv: Cell,
+    buf: Cell,
+    and2: Cell,
+    or2: Cell,
+    xor2: Cell,
+    nand2: Cell,
+    nor2: Cell,
+    xnor2: Cell,
+}
+
+impl CellLibrary {
+    /// A 65 nm-flavoured typical-corner library (the paper's target
+    /// technology). Values are representative, not vendor data.
+    pub fn typical_65nm() -> CellLibrary {
+        let cell = |area: f64, delay: f64| Cell {
+            area_um2: area,
+            leakage_nw: area * 1.9,
+            input_cap_ff: 1.4,
+            delay_ps: delay,
+            delay_per_fanout_ps: 9.0,
+        };
+        CellLibrary {
+            name: "typical-65nm".into(),
+            inv: cell(0.72, 14.0),
+            buf: cell(1.08, 28.0),
+            and2: cell(1.44, 33.0),
+            or2: cell(1.44, 35.0),
+            xor2: cell(2.88, 52.0),
+            nand2: cell(1.08, 22.0),
+            nor2: cell(1.08, 26.0),
+            xnor2: cell(2.88, 54.0),
+        }
+    }
+
+    /// The library's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cell implementing a gate kind, or `None` for non-mappable
+    /// kinds (inputs, constants — these occupy no silicon).
+    pub fn cell(&self, kind: GateKind) -> Option<&Cell> {
+        match kind {
+            GateKind::Const0 | GateKind::Const1 | GateKind::Input => None,
+            GateKind::Buf => Some(&self.buf),
+            GateKind::Not => Some(&self.inv),
+            GateKind::And => Some(&self.and2),
+            GateKind::Or => Some(&self.or2),
+            GateKind::Xor => Some(&self.xor2),
+            GateKind::Nand => Some(&self.nand2),
+            GateKind::Nor => Some(&self.nor2),
+            GateKind::Xnor => Some(&self.xnor2),
+        }
+    }
+}
+
+impl Default for CellLibrary {
+    fn default() -> CellLibrary {
+        CellLibrary::typical_65nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blasys_logic::gate::ALL_KINDS;
+
+    #[test]
+    fn mappable_kinds_have_cells() {
+        let lib = CellLibrary::typical_65nm();
+        for k in ALL_KINDS {
+            let c = lib.cell(k);
+            assert_eq!(c.is_some(), k.is_gate(), "{k}");
+        }
+    }
+
+    #[test]
+    fn relative_proportions_sane() {
+        let lib = CellLibrary::typical_65nm();
+        let inv = lib.cell(GateKind::Not).unwrap();
+        let nand = lib.cell(GateKind::Nand).unwrap();
+        let xor = lib.cell(GateKind::Xor).unwrap();
+        assert!(inv.area_um2 < nand.area_um2);
+        assert!(xor.area_um2 > 2.0 * nand.area_um2);
+        assert!(xor.delay_ps > nand.delay_ps);
+        for k in [GateKind::Not, GateKind::And, GateKind::Xor] {
+            let c = lib.cell(k).unwrap();
+            assert!(c.leakage_nw > 0.0 && c.input_cap_ff > 0.0);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Multi-level synthesis by recursive Shannon decomposition.
+//!
+//! Two-level covers explode on XOR-rich functions (an n-input parity
+//! needs `2^(n-1)` cubes), which would make adder-like windows look
+//! absurdly expensive and distort every area comparison. This module
+//! provides the multi-level escape hatch: functions are decomposed as
+//! `f = x ? f₁ : f₀` with three refinements:
+//!
+//! * memoization of cofactors (shared sub-functions become shared
+//!   logic, on top of the netlist's structural hashing);
+//! * `f₁ = f₀` → skip the variable;
+//! * `f₁ = ¬f₀` → `f = x ⊕ f₀`, which keeps parity chains linear.
+//!
+//! The resulting networks are BDD-shaped: compact for arithmetic,
+//! sometimes worse than SOP for shallow AND/OR logic — which is why
+//! [`synthesize_tt`](crate::techmap::synthesize_tt) builds both and
+//! keeps the cheaper one.
+
+use std::collections::HashMap;
+
+use blasys_logic::{Netlist, NodeId, TruthTable};
+
+/// Synthesize every column of `tt` over the given input nodes using
+/// Shannon decomposition with cofactor sharing. Returns one node per
+/// output column.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != tt.num_inputs()`.
+pub fn shannon_columns(nl: &mut Netlist, inputs: &[NodeId], tt: &TruthTable) -> Vec<NodeId> {
+    assert_eq!(inputs.len(), tt.num_inputs(), "one node per input");
+    let k = tt.num_inputs();
+    let mut memo: HashMap<(usize, Vec<u64>), NodeId> = HashMap::new();
+    (0..tt.num_outputs())
+        .map(|o| {
+            let bits = normalize(tt.column(o).to_vec(), k);
+            build(nl, inputs, k, bits, &mut memo)
+        })
+        .collect()
+}
+
+/// Trim/extend a column bitset to exactly `2^v` bits worth of words.
+fn normalize(mut bits: Vec<u64>, v: usize) -> Vec<u64> {
+    let rows = 1usize << v;
+    let words = rows.div_ceil(64);
+    bits.truncate(words);
+    while bits.len() < words {
+        bits.push(0);
+    }
+    if rows < 64 {
+        bits[0] &= (1u64 << rows) - 1;
+    }
+    bits
+}
+
+fn is_const0(bits: &[u64]) -> bool {
+    bits.iter().all(|&w| w == 0)
+}
+
+fn is_const1(bits: &[u64], v: usize) -> bool {
+    let rows = 1usize << v;
+    if rows >= 64 {
+        bits.iter().all(|&w| w == !0)
+    } else {
+        bits[0] == (1u64 << rows) - 1
+    }
+}
+
+/// Split on the *highest* remaining variable: cofactor 0 is the low
+/// half of the bit vector, cofactor 1 the high half.
+fn cofactors(bits: &[u64], v: usize) -> (Vec<u64>, Vec<u64>) {
+    let rows = 1usize << v;
+    if rows > 64 {
+        let half_words = bits.len() / 2;
+        (
+            bits[..half_words].to_vec(),
+            bits[half_words..].to_vec(),
+        )
+    } else {
+        let half = rows / 2;
+        let mask = if half == 64 { !0 } else { (1u64 << half) - 1 };
+        (vec![bits[0] & mask], vec![bits[0] >> half & mask])
+    }
+}
+
+fn complement(bits: &[u64], v: usize) -> Vec<u64> {
+    let rows = 1usize << v;
+    let mut out: Vec<u64> = bits.iter().map(|w| !w).collect();
+    if rows < 64 {
+        out[0] &= (1u64 << rows) - 1;
+    }
+    out
+}
+
+fn build(
+    nl: &mut Netlist,
+    inputs: &[NodeId],
+    v: usize,
+    bits: Vec<u64>,
+    memo: &mut HashMap<(usize, Vec<u64>), NodeId>,
+) -> NodeId {
+    if is_const0(&bits) {
+        return nl.constant(false);
+    }
+    if is_const1(&bits, v) {
+        return nl.constant(true);
+    }
+    debug_assert!(v >= 1, "non-constant function needs at least one var");
+    if let Some(&hit) = memo.get(&(v, bits.clone())) {
+        return hit;
+    }
+    let x = inputs[v - 1];
+    let (cof0, cof1) = cofactors(&bits, v);
+    let node = if cof0 == cof1 {
+        build(nl, inputs, v - 1, cof0, memo)
+    } else if cof1 == complement(&cof0, v - 1) {
+        let f0 = build(nl, inputs, v - 1, cof0, memo);
+        nl.xor(x, f0)
+    } else {
+        let f0 = build(nl, inputs, v - 1, cof0, memo);
+        let f1 = build(nl, inputs, v - 1, cof1, memo);
+        nl.mux(x, f1, f0)
+    };
+    memo.insert((v, bits), node);
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blasys_logic::equiv::matches_truth_table;
+
+    fn synth(tt: &TruthTable) -> Netlist {
+        let mut nl = Netlist::new("shannon");
+        let inputs: Vec<NodeId> = (0..tt.num_inputs())
+            .map(|i| nl.add_input(format!("x{i}")))
+            .collect();
+        let outs = shannon_columns(&mut nl, &inputs, tt);
+        for (o, n) in outs.into_iter().enumerate() {
+            nl.mark_output(format!("y{o}"), n);
+        }
+        nl.cleaned()
+    }
+
+    #[test]
+    fn parity_is_linear_not_exponential() {
+        let k = 8;
+        let tt = TruthTable::from_fn(k, 1, |row| (row.count_ones() & 1) as u64);
+        let nl = synth(&tt);
+        assert!(matches_truth_table(&nl, &tt));
+        // Parity of 8 inputs = 7 XOR gates under Shannon with the
+        // complement rule; allow a little slack.
+        assert!(nl.gate_count() <= 10, "got {} gates", nl.gate_count());
+    }
+
+    #[test]
+    fn constants_and_literals() {
+        let tt = TruthTable::from_fn(3, 3, |row| {
+            let lit = (row >> 1) & 1; // x1
+            0b100u64 | (lit as u64) // y0 = x1, y1 = 0, y2 = 1
+        });
+        let nl = synth(&tt);
+        assert!(matches_truth_table(&nl, &tt));
+        assert_eq!(nl.gate_count(), 0, "constants and literals are free");
+    }
+
+    #[test]
+    fn adder_columns_are_compact() {
+        // 3-bit adder: 6 inputs, 4 outputs.
+        let tt = TruthTable::from_fn(6, 4, |row| {
+            let a = (row & 0b111) as u64;
+            let b = ((row >> 3) & 0b111) as u64;
+            a + b
+        });
+        let nl = synth(&tt);
+        assert!(matches_truth_table(&nl, &tt));
+        // The fixed MSB-first variable order is not interleaved
+        // (a2 a1 a0 b2 b1 b0 from the top), so the BDD is larger than
+        // the optimal interleaved one — but still linear-ish, far from
+        // the exponential two-level cover.
+        assert!(
+            nl.gate_count() <= 70,
+            "3-bit adder should stay compact, got {}",
+            nl.gate_count()
+        );
+    }
+
+    #[test]
+    fn random_functions_equivalent() {
+        for seed in 0..10u64 {
+            let tt = TruthTable::from_fn(7, 3, |row| {
+                ((row as u64).wrapping_mul(0x9E37_79B9 + seed) >> 9) & 0b111
+            });
+            let nl = synth(&tt);
+            assert!(matches_truth_table(&nl, &tt), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn shared_cofactors_share_gates() {
+        // Two outputs that are identical functions must map to one node.
+        let tt = TruthTable::from_fn(5, 2, |row| {
+            let f = ((row * 13) >> 2) & 1;
+            (f | f << 1) as u64
+        });
+        let mut nl = Netlist::new("share");
+        let inputs: Vec<NodeId> = (0..5).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let outs = shannon_columns(&mut nl, &inputs, &tt);
+        assert_eq!(outs[0], outs[1]);
+    }
+
+    #[test]
+    fn wide_window() {
+        let tt = TruthTable::from_fn(10, 4, |row| {
+            let a = (row & 0x1F) as u64;
+            let b = ((row >> 5) & 0x1F) as u64;
+            (a.wrapping_mul(b) >> 2) & 0xF
+        });
+        let nl = synth(&tt);
+        assert!(matches_truth_table(&nl, &tt));
+    }
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the BLASYS reproduction workspace.
+pub use blasys_bmf as bmf;
+pub use blasys_circuits as circuits;
+pub use blasys_core as blasys;
+pub use blasys_decomp as decomp;
+pub use blasys_logic as logic;
+pub use blasys_salsa as salsa;
+pub use blasys_synth as synth;
