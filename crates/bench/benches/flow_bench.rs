@@ -17,9 +17,7 @@ fn bench_flow(c: &mut Criterion) {
     let mut g = c.benchmark_group("flow");
     g.sample_size(10);
 
-    g.bench_function("mult4_exhaustive", |b| {
-        b.iter(|| small_flow().run(&nl))
-    });
+    g.bench_function("mult4_exhaustive", |b| b.iter(|| small_flow().run(&nl)));
 
     // Ablation: decomposition size.
     for km in [4usize, 6, 8, 10] {

@@ -22,6 +22,7 @@ fn bench_gate_sim(c: &mut Criterion) {
             let mut words = vec![0u64; nl.num_inputs()];
             b.iter(|| {
                 let mut acc = 0u64;
+                #[allow(clippy::needless_range_loop)]
                 for blk in 0..blocks {
                     for (i, w) in words.iter_mut().enumerate() {
                         *w = stim[i][blk];
@@ -42,14 +43,7 @@ fn bench_mc_probe(c: &mut Criterion) {
     let part = decompose(&nl, &DecompConfig::default());
     // Sample-count sensitivity: the probe cost is linear in samples.
     for samples in [1_024usize, 10_240] {
-        let mut ev = Evaluator::new(
-            &nl,
-            &part,
-            &McConfig {
-                samples,
-                seed: 2,
-            },
-        );
+        let mut ev = Evaluator::new(&nl, &part, &McConfig { samples, seed: 2 });
         let zeros = vec![0u16; ev.network().table(0).len()];
         g.throughput(Throughput::Elements(samples as u64));
         g.bench_function(format!("mult8_probe_{samples}"), |b| {

@@ -5,10 +5,10 @@
 //! Run: `cargo run -p blasys-bench --bin fig3 --release`
 
 use blasys_bench::{f1, paper, print_table};
+use blasys_bmf::Factorizer;
 use blasys_circuits::fig3_truth_table;
 use blasys_core::approx::{factorization_netlist, factorization_rows};
 use blasys_core::profile::table_to_matrix;
-use blasys_bmf::Factorizer;
 use blasys_synth::estimate::{estimate, EstimateConfig};
 use blasys_synth::{synthesize_tt, CellLibrary, EspressoConfig};
 
@@ -54,7 +54,13 @@ fn main() {
     println!(" areas from the 65nm-flavoured model, paper used Synopsys DC)");
     println!();
     print_table(
-        &["variant", "hamming", "area um2", "paper hamming", "paper um2"],
+        &[
+            "variant",
+            "hamming",
+            "area um2",
+            "paper hamming",
+            "paper um2",
+        ],
         &rows,
     );
     println!();

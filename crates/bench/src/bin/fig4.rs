@@ -62,7 +62,14 @@ fn main() {
     println!("Figure 4 — weighted vs uniform QoR factorization on Mult8");
     println!();
     print_table(
-        &["scheme", "step", "norm area", "avg rel err", "norm abs err", "bit err rate"],
+        &[
+            "scheme",
+            "step",
+            "norm area",
+            "avg rel err",
+            "norm abs err",
+            "bit err rate",
+        ],
         &rows,
     );
     println!();

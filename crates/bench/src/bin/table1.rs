@@ -15,7 +15,9 @@ fn main() {
         let nl = b.build();
         let m = estimate(&nl, &lib, &est);
         let p = paper::TABLE1.iter().find(|(n, ..)| *n == b.name);
-        let (pa, pp, pd) = p.map(|&(_, _, a, pw, d)| (a, pw, d)).unwrap_or((0.0, 0.0, 0.0));
+        let (pa, pp, pd) = p
+            .map(|&(_, _, a, pw, d)| (a, pw, d))
+            .unwrap_or((0.0, 0.0, 0.0));
         rows.push(vec![
             b.name.to_string(),
             format!("{}/{}", nl.num_inputs(), nl.num_outputs()),
@@ -31,7 +33,12 @@ fn main() {
     println!();
     print_table(
         &[
-            "design", "I/O", "gates", "area um2", "power uW", "delay ns",
+            "design",
+            "I/O",
+            "gates",
+            "area um2",
+            "power uW",
+            "delay ns",
             "paper area/power/delay",
         ],
         &rows,

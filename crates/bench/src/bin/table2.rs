@@ -39,7 +39,11 @@ fn main() {
     println!();
     print_table(
         &[
-            "design", "err", "area %", "power %", "delay %",
+            "design",
+            "err",
+            "area %",
+            "power %",
+            "delay %",
             "paper area/power/delay %",
         ],
         &rows,

@@ -54,12 +54,16 @@ fn main() {
     print_table(
         &[
             "design",
-            "BLASYS@5%", "SALSA@5%",
-            "BLASYS@25%", "SALSA@25%",
+            "BLASYS@5%",
+            "SALSA@5%",
+            "BLASYS@25%",
+            "SALSA@25%",
             "paper B/S@5 B/S@25",
         ],
         &rows,
     );
     println!();
-    println!("expected shape: BLASYS >= SALSA everywhere; largest gaps on multiplier-like circuits");
+    println!(
+        "expected shape: BLASYS >= SALSA everywhere; largest gaps on multiplier-like circuits"
+    );
 }

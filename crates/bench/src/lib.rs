@@ -59,8 +59,7 @@ pub mod paper {
 
     /// Figure 3: (f, Hamming distance, area µm²) plus the exact design
     /// at 22.3 µm².
-    pub const FIG3: [(usize, usize, f64); 3] =
-        [(3, 3, 19.1), (2, 6, 16.2), (1, 13, 9.4)];
+    pub const FIG3: [(usize, usize, f64); 3] = [(3, 3, 19.1), (2, 6, 16.2), (1, 13, 9.4)];
 
     /// Figure 3 exact area, µm².
     pub const FIG3_EXACT_AREA: f64 = 22.3;
@@ -134,6 +133,7 @@ pub fn stimulus_for(name: &str, nl: &Netlist, samples: usize, seed: u64) -> Opti
         let want = format!("{prefix}{bit}");
         (0..nl.num_inputs()).find(|&i| nl.input_name(i) == want)
     };
+    #[allow(clippy::needless_range_loop)]
     for block in 0..blocks {
         for lane in 0..64 {
             let a = rng.gen::<u64>() & 0xFF;

@@ -126,9 +126,7 @@ mod tests {
     #[test]
     fn field_algebra_uses_xor_semantics() {
         let m = BoolMatrix::from_fn(8, 3, |i, j| (i + j) % 2 == 0);
-        let fac = Factorizer::new()
-            .algebra(Algebra::Field)
-            .factorize(&m, 2);
+        let fac = Factorizer::new().algebra(Algebra::Field).factorize(&m, 2);
         let nl = factorization_netlist(3, &fac, "x", &EspressoConfig::default());
         let tt = table_of(&nl);
         let product = fac.product();

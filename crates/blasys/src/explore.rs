@@ -132,11 +132,11 @@ pub fn explore(
 
 /// The last trajectory point whose driving metric stays within
 /// `threshold` (the design Algorithm 1 would synthesize).
-pub fn best_under_threshold<'a>(
-    trajectory: &'a [TrajectoryPoint],
+pub fn best_under_threshold(
+    trajectory: &[TrajectoryPoint],
     metric: QorMetric,
     threshold: f64,
-) -> Option<&'a TrajectoryPoint> {
+) -> Option<&TrajectoryPoint> {
     trajectory
         .iter()
         .rev()

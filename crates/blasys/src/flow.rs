@@ -6,6 +6,7 @@ use blasys_logic::Netlist;
 use blasys_synth::estimate::{estimate, EstimateConfig};
 use blasys_synth::{CellLibrary, DesignMetrics, EspressoConfig};
 
+use crate::certify::{prove_exact, CertifiedPoint};
 use crate::explore::{explore, ExploreConfig, StopCriterion, TrajectoryPoint};
 use crate::montecarlo::{Evaluator, McConfig};
 use crate::profile::{profile_partition, ProfileConfig, SubcircuitProfile};
@@ -39,6 +40,7 @@ pub struct Blasys {
     weighting: OutputWeighting,
     hybrid: bool,
     stimulus: Option<Vec<Vec<u64>>>,
+    certify: bool,
 }
 
 impl Default for Blasys {
@@ -63,7 +65,18 @@ impl Blasys {
             weighting: OutputWeighting::Uniform,
             hybrid: true,
             stimulus: None,
+            certify: false,
         }
+    }
+
+    /// Run the post-exploration certification pass as part of
+    /// [`Blasys::run`]: the final trajectory point's worst-case
+    /// absolute error is certified exactly with the SAT engine and
+    /// stamped into its [`QorReport`](crate::qor::QorReport) (see
+    /// [`BlasysResult::certify_step`] for certifying other steps).
+    pub fn certify(mut self, certify: bool) -> Blasys {
+        self.certify = certify;
+        self
     }
 
     /// Provide explicit Monte-Carlo stimulus (`stimulus[input][block]`,
@@ -180,15 +193,36 @@ impl Blasys {
             None => Evaluator::new(nl, &partition, &self.mc),
         };
         let trajectory = explore(&mut evaluator, &profiles, &self.explore);
-        BlasysResult {
+        let mut result = BlasysResult {
             original: nl.clone(),
             partition,
             profiles,
             trajectory,
             library: self.library.clone(),
             estimate: self.estimate,
+        };
+        if self.certify {
+            let last = result.trajectory.len() - 1;
+            result.certify_step(last);
         }
+        result
     }
+}
+
+/// Exact resynthesis without the exploration phase: every window of
+/// the decomposition replaced by its exactly resynthesized variant —
+/// the netlist of trajectory step 0, produced without running the
+/// Monte-Carlo evaluator. Used by the SAT benchmarks and acceptance
+/// tests to obtain a structurally different but functionally identical
+/// design.
+pub fn exact_resynthesis(nl: &Netlist, decomp: &DecompConfig) -> Netlist {
+    let partition = decompose(nl, decomp);
+    let profiles = profile_partition(nl, &partition, &ProfileConfig::default());
+    let impls: Vec<ClusterImpl> = profiles
+        .iter()
+        .map(|p| ClusterImpl::Replace(p.exact().netlist.clone()))
+        .collect();
+    substitute(nl, &partition, &impls).cleaned()
 }
 
 /// Per-cluster output weights: each subcircuit output is weighted by
@@ -305,6 +339,35 @@ impl BlasysResult {
             .iter()
             .rposition(|p| p.qor.value(metric) <= threshold)
     }
+
+    /// Certify the exact worst-case absolute error of one trajectory
+    /// point with the SAT engine and stamp it into the recorded
+    /// [`QorReport`](crate::qor::QorReport)
+    /// (`certified_worst_absolute`). Returns the full certificate
+    /// (witness input, probe count, solver statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is out of range.
+    pub fn certify_step(&mut self, step: usize) -> CertifiedPoint {
+        let synthesized = self.synthesize_step(step);
+        let sampled = self.trajectory[step].qor.worst_absolute;
+        let point = CertifiedPoint::certify(step, &self.original, &synthesized, sampled);
+        self.trajectory[step].qor.certified_worst_absolute = Some(point.certificate.worst_absolute);
+        point
+    }
+
+    /// SAT-prove that a trajectory point's synthesized netlist is
+    /// *exactly* equivalent to the original — meaningful for step 0
+    /// (exact resynthesis), where sampling can only say "probably
+    /// equal" beyond 16 inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is out of range.
+    pub fn prove_step_exact(&self, step: usize) -> blasys_logic::Equivalence {
+        prove_exact(&self.original, &self.synthesize_step(step))
+    }
 }
 
 #[cfg(test)]
@@ -359,6 +422,7 @@ mod tests {
         let mut sim_a = Simulator::new(&approx);
         let mut acc = crate::qor::QorAccumulator::new(nl.num_outputs());
         let mut words = vec![0u64; nl.num_inputs()];
+        #[allow(clippy::needless_range_loop)]
         for b in 0..blocks {
             for (i, w) in words.iter_mut().enumerate() {
                 *w = stim[i][b];
@@ -415,10 +479,7 @@ mod extra_tests {
     #[test]
     fn field_algebra_flow_end_to_end() {
         let nl = multiplier(4);
-        let result = Blasys::new()
-            .samples(1024)
-            .algebra(Algebra::Field)
-            .run(&nl);
+        let result = Blasys::new().samples(1024).algebra(Algebra::Field).run(&nl);
         assert!(result.trajectory().len() > 1);
         // Step 0 remains exact under XOR decompressors too.
         assert_eq!(result.trajectory()[0].qor.avg_relative, 0.0);
@@ -449,7 +510,47 @@ mod extra_tests {
         let uniform = Blasys::new().samples(2048).run(&nl);
         let b_last = biased.trajectory().last().unwrap().qor.avg_relative;
         let u_last = uniform.trajectory().last().unwrap().qor.avg_relative;
-        assert!(b_last <= u_last + 1e-9, "biased {b_last} vs uniform {u_last}");
+        assert!(
+            b_last <= u_last + 1e-9,
+            "biased {b_last} vs uniform {u_last}"
+        );
+    }
+
+    #[test]
+    fn certification_pass_stamps_final_step() {
+        let nl = multiplier(3);
+        let result = Blasys::new().samples(1024).certify(true).run(&nl);
+        let last = result.trajectory().last().unwrap();
+        let certified = last
+            .qor
+            .certified_worst_absolute
+            .expect("certify(true) must stamp the final step");
+        // The certificate dominates the sampled bound.
+        assert!(certified >= last.qor.worst_absolute);
+        assert_eq!(last.qor.best_known_worst_absolute(), certified);
+        // Exhaustive cross-check on the small multiplier.
+        let approx = result.synthesize_step(result.trajectory().len() - 1);
+        assert_eq!(
+            certified,
+            blasys_sat::brute_force_worst_absolute(&nl, &approx)
+        );
+    }
+
+    #[test]
+    fn prove_step0_exact_via_sat() {
+        use blasys_circuits::adder;
+        let nl = adder(8); // 16 inputs
+        let mut result = Blasys::new().samples(2048).seed(17).run(&nl);
+        use blasys_logic::Equivalence;
+        assert_eq!(
+            result.prove_step_exact(0),
+            Equivalence::Equal { exhaustive: true }
+        );
+        // Certifying the exact step yields a zero bound.
+        let point = result.certify_step(0);
+        assert_eq!(point.certificate.worst_absolute, 0);
+        assert!(point.certificate.proves_equivalence());
+        assert_eq!(result.trajectory()[0].qor.certified_worst_absolute, Some(0));
     }
 
     #[test]

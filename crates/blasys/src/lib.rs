@@ -15,7 +15,33 @@
 //!    approximation hurts whole-circuit QoR least, measured by
 //!    Monte-Carlo simulation — [`explore`] / [`montecarlo`];
 //! 4. **synthesize** the chosen configuration into a gate-level
-//!    netlist and measure area / power / delay — [`flow`].
+//!    netlist and measure area / power / delay — [`flow`];
+//! 5. **certify** (optional, beyond the paper): upgrade the sampled
+//!    error estimates to proofs with the `blasys-sat` CDCL engine —
+//!    [`certify`].
+//!
+//! # The certification pass
+//!
+//! Steps 1–4 rest on *statistical* evidence: QoR is Monte-Carlo
+//! sampled ([`montecarlo`]) and the recorded `worst_absolute` is only
+//! the largest error that happened to be sampled. The certification
+//! pass replaces that with formal results:
+//!
+//! * [`BlasysResult::certify_step`](flow::BlasysResult::certify_step)
+//!   computes the **exact** worst-case absolute error of a synthesized
+//!   trajectory point — a binary search where each probe asks a CDCL
+//!   SAT solver whether `∃ input: |R − R'| ≥ T` on an arithmetic
+//!   comparator miter — and stamps it into the point's
+//!   [`QorReport::certified_worst_absolute`](qor::QorReport). The
+//!   returned [`CertifiedPoint`] carries a witness input achieving the
+//!   bound;
+//! * [`BlasysResult::prove_step_exact`](flow::BlasysResult::prove_step_exact)
+//!   proves a step functionally identical to the original at **any**
+//!   input width (step 0, the exact resynthesis, is the interesting
+//!   case: simulation can only say "probably equal" past 16 inputs);
+//! * [`Blasys::certify`](flow::Blasys::certify) runs the pass on the
+//!   final trajectory point automatically at the end of
+//!   [`Blasys::run`](flow::Blasys::run).
 //!
 //! # Example
 //!
@@ -39,6 +65,7 @@
 //! ```
 
 pub mod approx;
+pub mod certify;
 pub mod explore;
 pub mod flow;
 pub mod montecarlo;
@@ -46,6 +73,7 @@ pub mod pareto;
 pub mod profile;
 pub mod qor;
 
+pub use certify::{prove_exact, CertifiedPoint};
 pub use explore::{ExploreConfig, StopCriterion, TrajectoryPoint};
 pub use flow::{Blasys, BlasysResult};
 pub use montecarlo::{Evaluator, McConfig, Signal, TableNetwork};

@@ -367,10 +367,7 @@ impl Evaluator {
     /// Probe: QoR if `cluster` used `rows`, leaving the network
     /// unchanged. Only downstream clusters are re-evaluated.
     pub fn qor_with(&mut self, cluster: usize, rows: &[u16]) -> QorReport {
-        let saved_rows = std::mem::replace(
-            &mut self.network.clusters[cluster].rows,
-            rows.to_vec(),
-        );
+        let saved_rows = std::mem::replace(&mut self.network.clusters[cluster].rows, rows.to_vec());
         let affected: Vec<usize> = self.network.downstream(cluster).to_vec();
         let saved_values: Vec<(usize, Vec<Vec<u64>>)> = affected
             .iter()

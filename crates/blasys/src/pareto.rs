@@ -86,10 +86,30 @@ mod tests {
     #[test]
     fn pareto_front_removes_dominated() {
         let pts = vec![
-            TradeoffPoint { error: 0.0, area_um2: 100.0, norm_area: 1.0, step: 0 },
-            TradeoffPoint { error: 0.1, area_um2: 90.0, norm_area: 0.9, step: 1 },
-            TradeoffPoint { error: 0.2, area_um2: 95.0, norm_area: 0.95, step: 2 }, // dominated
-            TradeoffPoint { error: 0.3, area_um2: 50.0, norm_area: 0.5, step: 3 },
+            TradeoffPoint {
+                error: 0.0,
+                area_um2: 100.0,
+                norm_area: 1.0,
+                step: 0,
+            },
+            TradeoffPoint {
+                error: 0.1,
+                area_um2: 90.0,
+                norm_area: 0.9,
+                step: 1,
+            },
+            TradeoffPoint {
+                error: 0.2,
+                area_um2: 95.0,
+                norm_area: 0.95,
+                step: 2,
+            }, // dominated
+            TradeoffPoint {
+                error: 0.3,
+                area_um2: 50.0,
+                norm_area: 0.5,
+                step: 3,
+            },
         ];
         let front = pareto_front(&pts);
         assert_eq!(front.len(), 3);
@@ -100,7 +120,12 @@ mod tests {
 
     #[test]
     fn single_point_is_its_own_front() {
-        let pts = vec![TradeoffPoint { error: 0.0, area_um2: 10.0, norm_area: 1.0, step: 0 }];
+        let pts = vec![TradeoffPoint {
+            error: 0.0,
+            area_um2: 10.0,
+            norm_area: 1.0,
+            step: 0,
+        }];
         assert_eq!(pareto_front(&pts).len(), 1);
     }
 }

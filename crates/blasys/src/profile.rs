@@ -122,11 +122,7 @@ pub fn profile_partition(
 }
 
 /// Profile a single window truth table at every degree.
-pub fn profile_window(
-    cluster: usize,
-    tt: &TruthTable,
-    cfg: &ProfileConfig,
-) -> SubcircuitProfile {
+pub fn profile_window(cluster: usize, tt: &TruthTable, cfg: &ProfileConfig) -> SubcircuitProfile {
     profile_window_with_reference(cluster, tt, None, cfg)
 }
 
@@ -199,11 +195,7 @@ pub fn profile_window_with_reference(
         // so its hardware is exactly the exact netlist with the dropped
         // outputs tied to constant 0 — never larger than exact.
         chain_fac = blasys_bmf::truncated(&chain_fac, &matrix, weights_for_trunc.as_deref());
-        if chain_fac
-            .c()
-            .iter_rows()
-            .all(|r| r.count_ones() <= 1)
-        {
+        if chain_fac.c().iter_rows().all(|r| r.count_ones() <= 1) {
             let kept: u64 = (0..f).fold(0u64, |acc, l| acc | chain_fac.c().row(l));
             let netlist = with_nulled_outputs(&exact_netlist, kept);
             let area = estimate(&netlist, &cfg.library, &cfg.estimate).area_um2;

@@ -32,15 +32,28 @@ pub struct QorReport {
     pub norm_absolute: f64,
     /// Fraction of differing output bits.
     pub bit_error_rate: f64,
-    /// Largest absolute error observed.
+    /// Largest absolute error observed. This is a *sampled* lower bound
+    /// on the true worst case: Monte-Carlo misses rare inputs.
     pub worst_absolute: u64,
     /// Fraction of samples with any error at all.
     pub error_rate: f64,
     /// Number of Monte-Carlo samples aggregated.
     pub samples: usize,
+    /// SAT-certified exact worst-case absolute error, filled in by the
+    /// post-exploration certification pass
+    /// ([`BlasysResult::certify_step`](crate::flow::BlasysResult::certify_step)).
+    /// Always `>= worst_absolute`; `None` until a certificate is
+    /// computed.
+    pub certified_worst_absolute: Option<u64>,
 }
 
 impl QorReport {
+    /// The tightest known worst-case absolute error: the SAT
+    /// certificate when available, the sampled lower bound otherwise.
+    pub fn best_known_worst_absolute(&self) -> u64 {
+        self.certified_worst_absolute.unwrap_or(self.worst_absolute)
+    }
+
     /// The scalar value of the chosen metric.
     pub fn value(&self, metric: QorMetric) -> f64 {
         match metric {
@@ -107,6 +120,7 @@ impl QorAccumulator {
             worst_absolute: self.worst,
             error_rate: self.err_samples as f64 / n,
             samples: self.n as usize,
+            certified_worst_absolute: None,
         }
     }
 }

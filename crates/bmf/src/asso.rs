@@ -118,7 +118,7 @@ pub fn asso(m: &BoolMatrix, f: usize, params: &AssoParams) -> (BoolMatrix, BoolM
                     score += gain;
                 }
             }
-            if best.as_ref().map_or(true, |(s, _, _)| score > *s) {
+            if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
                 best = Some((score, cand, usage));
             }
         }
@@ -260,6 +260,7 @@ fn refine_basis(
         if users.is_empty() {
             continue;
         }
+        #[allow(clippy::needless_range_loop)]
         for j in 0..cols {
             // For each user row, is cell (i,j) covered by another basis?
             let mut gain_on = 0.0;
@@ -304,7 +305,7 @@ pub fn asso_sweep(
         };
         let (b, c) = asso(m, f, &params);
         let err = weighted_error(&b.or_product(&c), m, weights);
-        if best.as_ref().map_or(true, |(e, _, _)| err < *e) {
+        if best.as_ref().is_none_or(|(e, _, _)| err < *e) {
             best = Some((err, b, c));
         }
     }
@@ -366,7 +367,10 @@ mod tests {
         let werr = weighted_error(&approx, &m, &w);
         let (bu, cu) = asso(&m, 1, &params());
         let uerr = weighted_error(&bu.or_product(&cu), &m, &w);
-        assert!(werr <= uerr, "weighted {werr} should not lose to uniform {uerr}");
+        assert!(
+            werr <= uerr,
+            "weighted {werr} should not lose to uniform {uerr}"
+        );
     }
 
     #[test]

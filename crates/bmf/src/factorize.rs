@@ -195,10 +195,7 @@ impl Factorizer {
     pub fn factorize(&self, m: &BoolMatrix, f: usize) -> Factorization {
         assert!(f >= 1, "factorization degree must be at least 1");
         let cols = m.num_cols();
-        if f < cols
-            && cols <= 5
-            && m.num_rows() <= 64
-            && matches!(self.algebra, Algebra::SemiRing)
+        if f < cols && cols <= 5 && m.num_rows() <= 64 && matches!(self.algebra, Algebra::SemiRing)
         {
             return self.exact_small(m, f);
         }
@@ -249,11 +246,7 @@ impl Factorizer {
 /// # Panics
 ///
 /// Panics if `fac.degree() < 2` or `fac.degree() > 13`.
-pub fn truncated(
-    fac: &Factorization,
-    m: &BoolMatrix,
-    weights: Option<&[f64]>,
-) -> Factorization {
+pub fn truncated(fac: &Factorization, m: &BoolMatrix, weights: Option<&[f64]>) -> Factorization {
     let f = fac.degree();
     assert!(f >= 2, "cannot truncate below degree 1");
     assert!(f <= 13, "exhaustive usage solve limited to small degrees");
@@ -310,7 +303,7 @@ pub fn truncated(
             err += best_e;
             b.set_row(i, best_s as u64);
         }
-        if best.as_ref().map_or(true, |(e, _, _)| err < *e) {
+        if best.as_ref().is_none_or(|(e, _, _)| err < *e) {
             best = Some((err, b, c));
         }
     }
@@ -385,7 +378,7 @@ impl Factorizer {
                 err += best_e;
                 usage.push(best_s as u64);
             }
-            if best.as_ref().map_or(true, |(e, _, _)| err < *e) {
+            if best.as_ref().is_none_or(|(e, _, _)| err < *e) {
                 let c_rows: Vec<u64> = chosen.iter().map(|&i| patterns[i]).collect();
                 best = Some((err, usage, c_rows));
             }

@@ -48,7 +48,11 @@ impl BoolMatrix {
     }
 
     /// Build by evaluating `f(row, col)`.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> BoolMatrix {
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> bool,
+    ) -> BoolMatrix {
         let mut m = BoolMatrix::zeroed(rows, cols);
         for i in 0..rows {
             for j in 0..cols {
@@ -153,7 +157,10 @@ impl BoolMatrix {
     /// Panics if the matrix has more than 64 rows (the transpose would
     /// exceed the column limit).
     pub fn transposed(&self) -> BoolMatrix {
-        assert!(self.rows.len() <= Self::MAX_COLS, "too many rows to transpose");
+        assert!(
+            self.rows.len() <= Self::MAX_COLS,
+            "too many rows to transpose"
+        );
         BoolMatrix::from_fn(self.cols, self.rows.len(), |i, j| self.get(j, i))
     }
 

@@ -186,6 +186,7 @@ fn improve_basis(m: &BoolMatrix, b: &BoolMatrix, c: &mut BoolMatrix, weights: &[
         if users.is_empty() {
             continue;
         }
+        #[allow(clippy::needless_range_loop)]
         for j in 0..cols {
             // Flipping c[l][j] toggles bit j of prod for every user row.
             let mut delta = 0.0;

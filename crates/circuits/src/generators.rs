@@ -1,8 +1,6 @@
 //! Datapath generators for the six paper benchmarks.
 
-use blasys_logic::builder::{
-    abs_diff, add, input_bus, mark_output_bus, mul, sub, zext, Bus,
-};
+use blasys_logic::builder::{abs_diff, add, input_bus, mark_output_bus, mul, sub, zext, Bus};
 use blasys_logic::Netlist;
 
 /// `width`-bit ripple-carry adder: `2·width` inputs, `width + 1`
@@ -111,13 +109,13 @@ mod tests {
     /// return the output value (outputs are marked LSB-first).
     fn eval(nl: &Netlist, values: &[(&str, u64)]) -> u64 {
         let mut words = vec![0u64; nl.num_inputs()];
-        for i in 0..nl.num_inputs() {
+        for (i, word) in words.iter_mut().enumerate() {
             let name = nl.input_name(i);
             for (prefix, v) in values {
                 if let Some(idx) = name.strip_prefix(prefix) {
                     if let Ok(bit) = idx.parse::<usize>() {
                         if v >> bit & 1 == 1 {
-                            words[i] = !0;
+                            *word = !0;
                         }
                     }
                 }
@@ -194,10 +192,7 @@ mod tests {
             let a = rng.gen::<u64>() & 0xFF;
             let b = rng.gen::<u64>() & 0xFF;
             let acc = rng.gen::<u64>() & 0xFFFF_FFFF;
-            assert_eq!(
-                eval(&nl, &[("a", a), ("b", b), ("acc", acc)]),
-                acc + a * b
-            );
+            assert_eq!(eval(&nl, &[("a", a), ("b", b), ("acc", acc)]), acc + a * b);
         }
     }
 
@@ -223,18 +218,12 @@ mod tests {
         for _ in 0..20 {
             let xs: Vec<u64> = (0..4).map(|_| rng.gen::<u64>() & 0xFF).collect();
             let cs: Vec<u64> = (0..4).map(|_| rng.gen::<u64>() & 0xFF).collect();
-            let expect: u64 = xs
-                .iter()
-                .zip(&cs)
-                .map(|(x, c)| x * c)
-                .sum::<u64>()
-                & 0xFFFF;
+            let expect: u64 = xs.iter().zip(&cs).map(|(x, c)| x * c).sum::<u64>() & 0xFFFF;
             let inputs: Vec<(String, u64)> = (0..4)
                 .map(|i| (format!("x{i}_"), xs[i]))
                 .chain((0..4).map(|i| (format!("c{i}_"), cs[i])))
                 .collect();
-            let refs: Vec<(&str, u64)> =
-                inputs.iter().map(|(s, v)| (s.as_str(), *v)).collect();
+            let refs: Vec<(&str, u64)> = inputs.iter().map(|(s, v)| (s.as_str(), *v)).collect();
             assert_eq!(eval(&nl, &refs), expect);
         }
     }

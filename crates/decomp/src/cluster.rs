@@ -299,25 +299,26 @@ pub fn decompose(nl: &Netlist, cfg: &DecompConfig) -> Partition {
         let mut uses_inside: Vec<u32> = Vec::new(); // parallel to member_list
         let mut member_pos: std::collections::HashMap<NodeId, usize> = Default::default();
 
-        let add_node = |n: NodeId,
-                            members: &mut HashSet<NodeId>,
-                            member_list: &mut Vec<NodeId>,
-                            input_set: &mut HashSet<NodeId>,
-                            uses_inside: &mut Vec<u32>,
-                            member_pos: &mut std::collections::HashMap<NodeId, usize>| {
-            for f in nl.node(n).fanins() {
-                let fk = nl.node(f).kind();
-                if members.contains(&f) {
-                    uses_inside[member_pos[&f]] += 1;
-                } else if !matches!(fk, GateKind::Const0 | GateKind::Const1) {
-                    input_set.insert(f);
+        let add_node =
+            |n: NodeId,
+             members: &mut HashSet<NodeId>,
+             member_list: &mut Vec<NodeId>,
+             input_set: &mut HashSet<NodeId>,
+             uses_inside: &mut Vec<u32>,
+             member_pos: &mut std::collections::HashMap<NodeId, usize>| {
+                for f in nl.node(n).fanins() {
+                    let fk = nl.node(f).kind();
+                    if members.contains(&f) {
+                        uses_inside[member_pos[&f]] += 1;
+                    } else if !matches!(fk, GateKind::Const0 | GateKind::Const1) {
+                        input_set.insert(f);
+                    }
                 }
-            }
-            member_pos.insert(n, member_list.len());
-            member_list.push(n);
-            uses_inside.push(0);
-            members.insert(n);
-        };
+                member_pos.insert(n, member_list.len());
+                member_list.push(n);
+                uses_inside.push(0);
+                members.insert(n);
+            };
 
         add_node(
             seed,
@@ -348,10 +349,7 @@ pub fn decompose(nl: &Netlist, cfg: &DecompConfig) -> Partition {
             let cands: Vec<NodeId> = gate_nodes
                 .iter()
                 .copied()
-                .filter(|g| {
-                    !placed[g.index()]
-                        && nl.node(*g).fanins().all(|f| placed[f.index()])
-                })
+                .filter(|g| !placed[g.index()] && nl.node(*g).fanins().all(|f| placed[f.index()]))
                 .take(cfg.candidate_window)
                 .collect();
             if cands.is_empty() {
@@ -369,11 +367,7 @@ pub fn decompose(nl: &Netlist, cfg: &DecompConfig) -> Partition {
                     if members.contains(&f) {
                         // Does adding n internalize f's last external use?
                         let u = uses_inside[member_pos[&f]];
-                        let extra = nl
-                            .node(n)
-                            .fanins()
-                            .filter(|&g| g == f)
-                            .count() as u32;
+                        let extra = nl.node(n).fanins().filter(|&g| g == f).count() as u32;
                         if !is_po[f.index()] && fanout[f.index()] == u + extra {
                             internalized += 1;
                         }
@@ -392,9 +386,10 @@ pub fn decompose(nl: &Netlist, cfg: &DecompConfig) -> Partition {
                 if new_inputs > cfg.max_inputs || new_outputs > cfg.max_outputs {
                     continue;
                 }
-                let gain = shared * 2 + internalized as i64 * 3 - added_inputs as i64 * 2
+                let gain = shared * 2 + internalized as i64 * 3
+                    - added_inputs as i64 * 2
                     - (n.index() as i64 >> 20); // stable small tie-break
-                if best.map_or(true, |(g, b)| gain > g || (gain == g && n < b)) {
+                if best.is_none_or(|(g, b)| gain > g || (gain == g && n < b)) {
                     best = Some((gain, n));
                 }
             }
@@ -419,9 +414,7 @@ pub fn decompose(nl: &Netlist, cfg: &DecompConfig) -> Partition {
         ready = gate_nodes
             .iter()
             .copied()
-            .filter(|g| {
-                !placed[g.index()] && nl.node(*g).fanins().all(|f| placed[f.index()])
-            })
+            .filter(|g| !placed[g.index()] && nl.node(*g).fanins().all(|f| placed[f.index()]))
             .collect();
         if ready.is_empty() && remaining > 0 {
             unreachable!("topological order guarantees progress");
@@ -484,7 +477,11 @@ mod tests {
             assert!(part.validate(&nl).is_ok());
             for c in part.clusters() {
                 assert!(c.inputs().len() <= k, "inputs {} > {k}", c.inputs().len());
-                assert!(c.outputs().len() <= m, "outputs {} > {m}", c.outputs().len());
+                assert!(
+                    c.outputs().len() <= m,
+                    "outputs {} > {m}",
+                    c.outputs().len()
+                );
                 assert!(!c.is_empty());
             }
         }

@@ -163,11 +163,7 @@ fn apply_move(nl: &Netlist, part: &mut Partition, n: NodeId, from: usize, to: us
     part.recompute_one(nl, to);
 }
 
-fn set_cluster_nodes(
-    clusters: &mut [crate::cluster::Cluster],
-    idx: usize,
-    mut nodes: Vec<NodeId>,
-) {
+fn set_cluster_nodes(clusters: &mut [crate::cluster::Cluster], idx: usize, mut nodes: Vec<NodeId>) {
     // Only the node set is stashed here; the caller recomputes the
     // interface immediately afterwards.
     nodes.sort_unstable();

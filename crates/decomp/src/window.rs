@@ -61,7 +61,11 @@ pub fn cluster_truth_table(nl: &Netlist, cluster: &Cluster) -> TruthTable {
             values.insert(n, v);
         }
         let valid = (rows - block * 64).min(64);
-        let mask = if valid == 64 { !0u64 } else { (1u64 << valid) - 1 };
+        let mask = if valid == 64 {
+            !0u64
+        } else {
+            (1u64 << valid) - 1
+        };
         for (o, &out_node) in cluster.outputs().iter().enumerate() {
             let w = values[&out_node] & mask;
             let mut bits = w;
@@ -108,14 +112,12 @@ pub fn extract_cluster_netlist(nl: &Netlist, cluster: &Cluster, name: &str) -> N
     }
     for &n in cluster.nodes() {
         let node = nl.node(n);
-        let get = |map: &HashMap<NodeId, NodeId>, out: &mut Netlist, f: NodeId| match nl
-            .node(f)
-            .kind()
-        {
-            GateKind::Const0 => out.constant(false),
-            GateKind::Const1 => out.constant(true),
-            _ => map[&f],
-        };
+        let get =
+            |map: &HashMap<NodeId, NodeId>, out: &mut Netlist, f: NodeId| match nl.node(f).kind() {
+                GateKind::Const0 => out.constant(false),
+                GateKind::Const1 => out.constant(true),
+                _ => map[&f],
+            };
         let new = match node.kind() {
             GateKind::Const0 => out.constant(false),
             GateKind::Const1 => out.constant(true),

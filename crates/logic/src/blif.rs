@@ -406,19 +406,13 @@ mod tests {
     #[test]
     fn rejects_undefined_signal() {
         let text = ".model m\n.inputs a\n.outputs f\n.names ghost f\n1 1\n.end\n";
-        assert!(matches!(
-            from_blif(text),
-            Err(LogicError::BlifParse { .. })
-        ));
+        assert!(matches!(from_blif(text), Err(LogicError::BlifParse { .. })));
     }
 
     #[test]
     fn rejects_latches() {
         let text = ".model m\n.inputs a\n.outputs f\n.latch a f re clk 0\n.end\n";
-        assert!(matches!(
-            from_blif(text),
-            Err(LogicError::BlifParse { .. })
-        ));
+        assert!(matches!(from_blif(text), Err(LogicError::BlifParse { .. })));
     }
 
     #[test]

@@ -1,8 +1,26 @@
 //! Equivalence checking between netlists.
 //!
-//! Exhaustive up to a configurable input count, random sampling beyond.
-//! Used throughout the test suites to validate that exact resynthesis
-//! (espresso + techmap) and subcircuit substitution preserve function.
+//! Three backends are available via [`EquivConfig::backend`]:
+//!
+//! * **Exhaustive** — truth-table enumeration, exact but limited to
+//!   [`MAX_EXHAUSTIVE_INPUTS`](crate::truth::MAX_EXHAUSTIVE_INPUTS)
+//!   inputs;
+//! * **Sampled** — 64-way bit-parallel random simulation; can *refute*
+//!   equivalence with a counterexample but only ever reports
+//!   `Equal { exhaustive: false }` ("probably equal");
+//! * **Sat** — a CDCL SAT solver on the pairwise miter (provided by the
+//!   `blasys-sat` crate), exact at *any* input width: `Equal` answers
+//!   carry `exhaustive: true` and every `Differs` answer carries a real
+//!   counterexample pattern.
+//!
+//! The default [`Backend::Auto`] keeps the historical behavior
+//! (exhaustive up to a configurable input count, random sampling
+//! beyond). The SAT backend lives in a higher crate to keep this one
+//! dependency-free, and is wired in through
+//! [`register_sat_backend`] — linking `blasys-sat` and calling its
+//! `install_backend()` makes `Backend::Sat` work everywhere.
+
+use std::sync::OnceLock;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -15,16 +33,27 @@ use crate::truth::{input_pattern_word, TruthTable};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Equivalence {
     /// The two netlists agreed on every checked pattern; `exhaustive`
-    /// tells whether the whole input space was enumerated.
+    /// tells whether the verdict covers the whole input space (always
+    /// true for the exhaustive and SAT backends).
     Equal {
-        /// True if every input assignment was checked.
+        /// True if the whole input space is covered by the verdict.
         exhaustive: bool,
     },
     /// A mismatch was found on this input assignment (bit `i` of the
-    /// pattern feeds primary input `i`) at this output index.
+    /// pattern feeds primary input `i`) at this output index. Used when
+    /// the interface has at most 64 inputs.
     Differs {
         /// Counterexample input assignment.
         pattern: u64,
+        /// First differing output index.
+        output: usize,
+    },
+    /// A mismatch on a wide interface (more than 64 inputs): bit `i` of
+    /// the packed words (`pattern[i / 64] >> (i % 64)`) feeds primary
+    /// input `i`.
+    DiffersWide {
+        /// Counterexample input assignment, packed 64 inputs per word.
+        pattern: Vec<u64>,
         /// First differing output index.
         output: usize,
     },
@@ -35,17 +64,49 @@ impl Equivalence {
     pub fn is_equal(&self) -> bool {
         matches!(self, Equivalence::Equal { .. })
     }
+
+    /// The counterexample as packed words (64 inputs per word), if this
+    /// is a `Differs`/`DiffersWide` verdict.
+    pub fn counterexample(&self) -> Option<Vec<u64>> {
+        match self {
+            Equivalence::Equal { .. } => None,
+            Equivalence::Differs { pattern, .. } => Some(vec![*pattern]),
+            Equivalence::DiffersWide { pattern, .. } => Some(pattern.clone()),
+        }
+    }
+}
+
+/// Which engine decides the equivalence question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Exhaustive up to [`EquivConfig::exhaustive_limit`] inputs,
+    /// random sampling beyond (the historical behavior).
+    #[default]
+    Auto,
+    /// Always enumerate the full input space.
+    Exhaustive,
+    /// Always sample randomly (fast refutation, weak confirmation).
+    Sampled,
+    /// Decide with the CDCL SAT solver on the miter: exact at any
+    /// width. Requires `blasys_sat::install_backend()` to have run
+    /// first (the `blasys-sat` solving entry points — `check_equiv_sat`
+    /// and `certify_worst_absolute` — also install it as a side
+    /// effect).
+    Sat,
 }
 
 /// Configuration for [`check_equiv`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EquivConfig {
-    /// Enumerate exhaustively when the input count is at most this.
+    /// Enumerate exhaustively when the input count is at most this
+    /// (`Backend::Auto` only).
     pub exhaustive_limit: usize,
     /// Number of random 64-pattern blocks when sampling.
     pub sample_blocks: usize,
     /// RNG seed for the sampling path.
     pub seed: u64,
+    /// The engine answering the query.
+    pub backend: Backend,
 }
 
 impl Default for EquivConfig {
@@ -53,9 +114,36 @@ impl Default for EquivConfig {
         EquivConfig {
             exhaustive_limit: 16,
             sample_blocks: 256,
-            seed: 0xB1A5_755,
+            seed: 0x0B1A_5755,
+            backend: Backend::Auto,
         }
     }
+}
+
+impl EquivConfig {
+    /// The default configuration with the given backend.
+    pub fn with_backend(backend: Backend) -> EquivConfig {
+        EquivConfig {
+            backend,
+            ..EquivConfig::default()
+        }
+    }
+}
+
+/// Signature of the SAT equivalence engine installed by `blasys-sat`.
+pub type SatEquivFn = fn(&Netlist, &Netlist) -> Equivalence;
+
+static SAT_BACKEND: OnceLock<SatEquivFn> = OnceLock::new();
+
+/// Install the engine behind [`Backend::Sat`]. Idempotent: the first
+/// registration wins. Returns whether this call installed it.
+pub fn register_sat_backend(f: SatEquivFn) -> bool {
+    SAT_BACKEND.set(f).is_ok()
+}
+
+/// Whether a SAT engine has been installed.
+pub fn sat_backend_installed() -> bool {
+    SAT_BACKEND.get().is_some()
 }
 
 /// Check whether two netlists implement the same function.
@@ -65,29 +153,54 @@ impl Default for EquivConfig {
 ///
 /// # Panics
 ///
-/// Panics if the interfaces differ in input or output counts.
+/// Panics if the interfaces differ in input or output counts, or if
+/// [`Backend::Sat`] is requested but no SAT engine is registered (link
+/// `blasys-sat` and call `blasys_sat::install_backend()`).
 pub fn check_equiv(a: &Netlist, b: &Netlist, cfg: &EquivConfig) -> Equivalence {
     assert_eq!(a.num_inputs(), b.num_inputs(), "input count mismatch");
     assert_eq!(a.num_outputs(), b.num_outputs(), "output count mismatch");
     let k = a.num_inputs();
-    if k <= cfg.exhaustive_limit {
-        let ta = TruthTable::from_netlist(a);
-        let tb = TruthTable::from_netlist(b);
-        if ta == tb {
-            return Equivalence::Equal { exhaustive: true };
-        }
-        for row in 0..ta.rows() {
-            for o in 0..ta.num_outputs() {
-                if ta.get(row, o) != tb.get(row, o) {
-                    return Equivalence::Differs {
-                        pattern: row as u64,
-                        output: o,
-                    };
-                }
+    match cfg.backend {
+        Backend::Auto => {
+            if k <= cfg.exhaustive_limit {
+                check_exhaustive(a, b)
+            } else {
+                check_sampled(a, b, cfg)
             }
         }
-        unreachable!("tables differ but no differing row found");
+        Backend::Exhaustive => check_exhaustive(a, b),
+        Backend::Sampled => check_sampled(a, b, cfg),
+        Backend::Sat => {
+            let engine = SAT_BACKEND.get().expect(
+                "Backend::Sat requested but no SAT engine registered; \
+                 call blasys_sat::install_backend() first",
+            );
+            engine(a, b)
+        }
     }
+}
+
+fn check_exhaustive(a: &Netlist, b: &Netlist) -> Equivalence {
+    let ta = TruthTable::from_netlist(a);
+    let tb = TruthTable::from_netlist(b);
+    if ta == tb {
+        return Equivalence::Equal { exhaustive: true };
+    }
+    for row in 0..ta.rows() {
+        for o in 0..ta.num_outputs() {
+            if ta.get(row, o) != tb.get(row, o) {
+                return Equivalence::Differs {
+                    pattern: row as u64,
+                    output: o,
+                };
+            }
+        }
+    }
+    unreachable!("tables differ but no differing row found");
+}
+
+fn check_sampled(a: &Netlist, b: &Netlist, cfg: &EquivConfig) -> Equivalence {
+    let k = a.num_inputs();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut sim_a = Simulator::new(a);
     let mut sim_b = Simulator::new(b);
@@ -102,13 +215,22 @@ pub fn check_equiv(a: &Netlist, b: &Netlist, cfg: &EquivConfig) -> Equivalence {
             let diff = oa[o] ^ ob[o];
             if diff != 0 {
                 let lane = diff.trailing_zeros() as usize;
-                let mut pattern = 0u64;
-                for (i, w) in words.iter().enumerate().take(64.min(k)) {
+                if k <= 64 {
+                    let mut pattern = 0u64;
+                    for (i, w) in words.iter().enumerate() {
+                        if w >> lane & 1 == 1 {
+                            pattern |= 1 << i;
+                        }
+                    }
+                    return Equivalence::Differs { pattern, output: o };
+                }
+                let mut pattern = vec![0u64; k.div_ceil(64)];
+                for (i, w) in words.iter().enumerate() {
                     if w >> lane & 1 == 1 {
-                        pattern |= 1 << i;
+                        pattern[i / 64] |= 1 << (i % 64);
                     }
                 }
-                return Equivalence::Differs { pattern, output: o };
+                return Equivalence::DiffersWide { pattern, output: o };
             }
         }
     }
@@ -217,6 +339,7 @@ mod tests {
             exhaustive_limit: 8,
             sample_blocks: 64,
             seed: 7,
+            ..EquivConfig::default()
         };
         let r = check_equiv(&build(false), &build(true), &cfg);
         assert_eq!(r, Equivalence::Equal { exhaustive: false });
@@ -241,8 +364,63 @@ mod tests {
             exhaustive_limit: 8,
             sample_blocks: 4,
             seed: 7,
+            ..EquivConfig::default()
         };
         assert!(!check_equiv(&build(false), &build(true), &cfg).is_equal());
+    }
+
+    #[test]
+    fn wide_sampled_counterexample_is_packed() {
+        // 70 inputs: parity vs parity-with-one-dropped-input differs on
+        // patterns where the dropped input is 1.
+        let build = |drop_last: bool| {
+            let mut nl = Netlist::new("par70");
+            let inputs: Vec<_> = (0..70).map(|i| nl.add_input(format!("i{i}"))).collect();
+            let take = if drop_last { 69 } else { 70 };
+            let mut acc = inputs[0];
+            for &i in &inputs[1..take] {
+                acc = nl.xor(acc, i);
+            }
+            nl.mark_output("p", acc);
+            nl
+        };
+        let a = build(false);
+        let b = build(true);
+        match check_equiv(&a, &b, &EquivConfig::default()) {
+            Equivalence::DiffersWide { pattern, output } => {
+                assert_eq!(output, 0);
+                assert_eq!(pattern.len(), 2);
+                // The counterexample must set input 69.
+                assert_eq!(pattern[1] >> 5 & 1, 1);
+            }
+            other => panic!("expected wide counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forced_backends_dispatch() {
+        let a = xor_net(false);
+        let b = xor_net(true);
+        let ex = check_equiv(&a, &b, &EquivConfig::with_backend(Backend::Exhaustive));
+        assert_eq!(ex, Equivalence::Equal { exhaustive: true });
+        let sm = check_equiv(&a, &b, &EquivConfig::with_backend(Backend::Sampled));
+        assert_eq!(sm, Equivalence::Equal { exhaustive: false });
+    }
+
+    #[test]
+    fn counterexample_words_roundtrip() {
+        let eq = Equivalence::Equal { exhaustive: true };
+        assert_eq!(eq.counterexample(), None);
+        let d = Equivalence::Differs {
+            pattern: 5,
+            output: 1,
+        };
+        assert_eq!(d.counterexample(), Some(vec![5]));
+        let w = Equivalence::DiffersWide {
+            pattern: vec![1, 2],
+            output: 0,
+        };
+        assert_eq!(w.counterexample(), Some(vec![1, 2]));
     }
 
     #[test]

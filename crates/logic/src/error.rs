@@ -58,7 +58,10 @@ impl fmt::Display for LogicError {
                 write!(f, "duplicate input name: {name}")
             }
             LogicError::TooManyInputs { have, limit } => {
-                write!(f, "netlist has {have} inputs, operation supports at most {limit}")
+                write!(
+                    f,
+                    "netlist has {have} inputs, operation supports at most {limit}"
+                )
             }
             LogicError::BlifParse { line, message } => {
                 write!(f, "BLIF parse error at line {line}: {message}")
@@ -82,8 +85,14 @@ mod tests {
             LogicError::InvalidNode { index: 3 },
             LogicError::DuplicateOutput { name: "z".into() },
             LogicError::DuplicateInput { name: "a".into() },
-            LogicError::TooManyInputs { have: 40, limit: 26 },
-            LogicError::BlifParse { line: 7, message: "bad cover".into() },
+            LogicError::TooManyInputs {
+                have: 40,
+                limit: 26,
+            },
+            LogicError::BlifParse {
+                line: 7,
+                message: "bad cover".into(),
+            },
             LogicError::WidthMismatch { left: 8, right: 4 },
         ];
         for e in errors {

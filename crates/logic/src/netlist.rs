@@ -229,7 +229,10 @@ impl Netlist {
 
     fn push(&mut self, kind: GateKind, a: NodeId, b: NodeId) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { kind, fanin: [a, b] });
+        self.nodes.push(Node {
+            kind,
+            fanin: [a, b],
+        });
         id
     }
 
@@ -409,7 +412,8 @@ impl Netlist {
     /// Panics if the name is already used; see
     /// [`Netlist::try_mark_output`] for the fallible variant.
     pub fn mark_output(&mut self, name: impl Into<String>, node: NodeId) {
-        self.try_mark_output(name, node).expect("duplicate output name");
+        self.try_mark_output(name, node)
+            .expect("duplicate output name");
     }
 
     /// Per-node logic depth: inputs and constants are level 0, a gate is
@@ -498,8 +502,14 @@ impl Netlist {
             if !mark[i] || n.kind == GateKind::Input {
                 continue;
             }
-            let a = n.fanin0().map(|f| map[f.index()]).unwrap_or(NodeId::INVALID);
-            let b = n.fanin1().map(|f| map[f.index()]).unwrap_or(NodeId::INVALID);
+            let a = n
+                .fanin0()
+                .map(|f| map[f.index()])
+                .unwrap_or(NodeId::INVALID);
+            let b = n
+                .fanin1()
+                .map(|f| map[f.index()])
+                .unwrap_or(NodeId::INVALID);
             map[i] = match n.kind {
                 GateKind::Const0 => out.constant(false),
                 GateKind::Const1 => out.constant(true),
@@ -528,13 +538,17 @@ impl Netlist {
         }
         for o in &self.outputs {
             if o.node.index() >= self.nodes.len() {
-                return Err(LogicError::InvalidNode { index: o.node.index() });
+                return Err(LogicError::InvalidNode {
+                    index: o.node.index(),
+                });
             }
         }
         let mut names = std::collections::HashSet::new();
         for o in &self.outputs {
             if !names.insert(&o.name) {
-                return Err(LogicError::DuplicateOutput { name: o.name.clone() });
+                return Err(LogicError::DuplicateOutput {
+                    name: o.name.clone(),
+                });
             }
         }
         Ok(())

@@ -72,10 +72,7 @@ impl<'a> Simulator<'a> {
                 GateKind::Const1 => !0,
                 k => {
                     let a = self.values[node.fanin0().unwrap().index()];
-                    let b = node
-                        .fanin1()
-                        .map(|f| self.values[f.index()])
-                        .unwrap_or(0);
+                    let b = node.fanin1().map(|f| self.values[f.index()]).unwrap_or(0);
                     k.eval_words(a, b)
                 }
             };
@@ -102,18 +99,35 @@ impl<'a> Simulator<'a> {
 /// primary input `i`. Returns the outputs packed into a word (bit `o` =
 /// output `o`).
 ///
-/// Convenient for tests; use [`Simulator`] for bulk evaluation.
+/// Convenient for one-off queries; allocates a fresh [`Simulator`] (and
+/// its per-node buffers) on every call. Loops evaluating many patterns
+/// on the same netlist should hold a `Simulator` and call
+/// [`eval_scalar_with`] instead.
 ///
 /// # Panics
 ///
 /// Panics if the netlist has more than 64 inputs or outputs.
 pub fn eval_scalar(nl: &Netlist, input: u64) -> u64 {
-    assert!(nl.num_inputs() <= 64 && nl.num_outputs() <= 64);
-    let words: Vec<u64> = (0..nl.num_inputs())
-        .map(|i| if input >> i & 1 == 1 { 1 } else { 0 })
-        .collect();
     let mut sim = Simulator::new(nl);
-    let out = sim.run(&words);
+    eval_scalar_with(&mut sim, input)
+}
+
+/// [`eval_scalar`] reusing a caller-provided simulator, avoiding the
+/// per-call buffer allocation in evaluation loops (counterexample
+/// localization, certification witnesses, brute-force sweeps).
+///
+/// # Panics
+///
+/// Panics if the simulator's netlist has more than 64 inputs or outputs.
+pub fn eval_scalar_with(sim: &mut Simulator<'_>, input: u64) -> u64 {
+    let nl = sim.netlist();
+    let k = nl.num_inputs();
+    assert!(k <= 64 && nl.num_outputs() <= 64);
+    let mut words = [0u64; 64];
+    for (i, w) in words.iter_mut().enumerate().take(k) {
+        *w = input >> i & 1;
+    }
+    let out = sim.run(&words[..k]);
     let mut v = 0u64;
     for (o, w) in out.iter().enumerate() {
         v |= (w & 1) << o;
@@ -170,6 +184,15 @@ mod tests {
             let b = input >> 1 & 1;
             assert_eq!(v & 1, a ^ b);
             assert_eq!(v >> 1 & 1, a & b);
+        }
+    }
+
+    #[test]
+    fn eval_scalar_with_reuses_simulator() {
+        let nl = half_adder();
+        let mut sim = Simulator::new(&nl);
+        for input in 0..4u64 {
+            assert_eq!(eval_scalar_with(&mut sim, input), eval_scalar(&nl, input));
         }
     }
 

@@ -103,7 +103,11 @@ impl TruthTable {
             }
             let out = sim.run(&pi);
             let valid = (rows - block * 64).min(64);
-            let mask = if valid == 64 { !0u64 } else { (1u64 << valid) - 1 };
+            let mask = if valid == 64 {
+                !0u64
+            } else {
+                (1u64 << valid) - 1
+            };
             for (o, col) in tt.columns.iter_mut().enumerate() {
                 col[block] = out[o] & mask;
             }

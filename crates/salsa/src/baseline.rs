@@ -4,8 +4,8 @@
 use blasys_core::montecarlo::{Evaluator, McConfig};
 use blasys_core::qor::{QorMetric, QorReport};
 use blasys_decomp::{
-    cluster_truth_table, decompose, extract_cluster_netlist, substitute, ClusterImpl,
-    DecompConfig, Partition,
+    cluster_truth_table, decompose, extract_cluster_netlist, substitute, ClusterImpl, DecompConfig,
+    Partition,
 };
 use blasys_logic::{Netlist, NodeId, TruthTable};
 use blasys_synth::estimate::{estimate, EstimateConfig};
@@ -161,8 +161,7 @@ pub fn run_salsa(nl: &Netlist, cfg: &SalsaConfig, threshold: f64) -> SalsaResult
             if cand_cost >= cost_now[ci] {
                 continue;
             }
-            let candidate_rows =
-                rows_with_column(&rows_now[ci], &ladders[ci][col][next].bits, col);
+            let candidate_rows = rows_with_column(&rows_now[ci], &ladders[ci][col][next].bits, col);
             let report = evaluator.qor_with(ci, &candidate_rows);
             if report.value(cfg.metric) <= threshold {
                 evaluator.commit(ci, candidate_rows.clone());
@@ -182,9 +181,7 @@ pub fn run_salsa(nl: &Netlist, cfg: &SalsaConfig, threshold: f64) -> SalsaResult
         .clusters()
         .iter()
         .enumerate()
-        .map(|(ci, c)| {
-            ClusterImpl::Replace(extract_cluster_netlist(nl, c, &format!("s{ci}_ref")))
-        })
+        .map(|(ci, c)| ClusterImpl::Replace(extract_cluster_netlist(nl, c, &format!("s{ci}_ref"))))
         .collect();
     let baseline_nl = substitute(nl, &partition, &baseline_impls).cleaned();
     let baseline = estimate(&baseline_nl, &cfg.library, &cfg.estimate);
@@ -322,7 +319,7 @@ fn synthesize_column_best(
         let node = if use_shannon {
             shannon_columns(&mut scratch, &ins, &tt)[0]
         } else {
-            let sop = minimize_column(k, &tt.column(0).to_vec(), espresso);
+            let sop = minimize_column(k, tt.column(0), espresso);
             map_sop(&mut scratch, &ins, &sop)
         };
         scratch.mark_output("y", node);
@@ -332,7 +329,7 @@ fn synthesize_column_best(
     if use_shannon {
         shannon_columns(nl, inputs, &tt)[0]
     } else {
-        let sop = minimize_column(k, &tt.column(0).to_vec(), espresso);
+        let sop = minimize_column(k, tt.column(0), espresso);
         map_sop(nl, inputs, &sop)
     }
 }

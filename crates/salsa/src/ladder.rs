@@ -68,7 +68,7 @@ pub fn column_ladder(
                 continue;
             }
             let private = private_rows(i, &alive, &covs, &side);
-            if best.map_or(true, |(p, _)| private < p) {
+            if best.is_none_or(|(p, _)| private < p) {
                 best = Some((private, i));
             }
         }

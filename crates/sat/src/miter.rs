@@ -1,0 +1,252 @@
+//! Miter construction.
+//!
+//! A *miter* is a single circuit asserting a property about one or two
+//! netlists: the equivalence miter ORs the XORs of paired outputs
+//! ("some output differs"), and the arithmetic comparator miter
+//! computes `|R − R'| ≥ T` over the numeric interpretation of the
+//! output buses ("the absolute error reaches T"). Both are built as
+//! ordinary [`Netlist`]s — reusing the structurally-hashed builder
+//! arithmetic — and then Tseitin-encoded, so constant folding can
+//! discharge trivially-true/false properties before the solver runs.
+
+use blasys_logic::builder::{abs_diff, Bus};
+use blasys_logic::{GateKind, Netlist, NodeId};
+
+/// Copy the logic of `src` into `dst`, mapping the `i`-th primary input
+/// of `src` to `input_map[i]` (an existing node of `dst`). Returns the
+/// nodes of `dst` driving each output of `src`, in output order.
+///
+/// # Panics
+///
+/// Panics if `input_map.len() != src.num_inputs()`.
+pub fn import(dst: &mut Netlist, src: &Netlist, input_map: &[NodeId]) -> Vec<NodeId> {
+    assert_eq!(
+        input_map.len(),
+        src.num_inputs(),
+        "one destination node per source input required"
+    );
+    let mut map = vec![NodeId::from_index(usize::MAX); src.len()];
+    for (pos, &pi) in src.inputs().iter().enumerate() {
+        map[pi.index()] = input_map[pos];
+    }
+    for (id, node) in src.iter() {
+        let mapped = match node.kind() {
+            GateKind::Input => continue,
+            GateKind::Const0 => dst.constant(false),
+            GateKind::Const1 => dst.constant(true),
+            kind => {
+                let a = map[node.fanin0().unwrap().index()];
+                let b = node
+                    .fanin1()
+                    .map(|f| map[f.index()])
+                    .unwrap_or(NodeId::from_index(0));
+                match kind.arity() {
+                    1 => dst.gate(kind, a, a),
+                    _ => dst.gate(kind, a, b),
+                }
+            }
+        };
+        map[id.index()] = mapped;
+    }
+    src.outputs()
+        .iter()
+        .map(|o| map[o.node().index()])
+        .collect()
+}
+
+fn shared_inputs(a: &Netlist, miter: &mut Netlist) -> Vec<NodeId> {
+    (0..a.num_inputs())
+        .map(|i| miter.add_input(a.input_name(i).to_string()))
+        .collect()
+}
+
+/// Build the pairwise equivalence miter of `a` and `b`: a netlist with
+/// the shared inputs of `a` and one output `diff` that is 1 exactly on
+/// input patterns where some output pair disagrees.
+///
+/// # Panics
+///
+/// Panics if the interfaces differ in input or output counts.
+pub fn equivalence_miter(a: &Netlist, b: &Netlist) -> Netlist {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input count mismatch");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output count mismatch");
+    let mut miter = Netlist::new(format!("miter_{}_{}", a.name(), b.name()));
+    let pis = shared_inputs(a, &mut miter);
+    let oa = import(&mut miter, a, &pis);
+    let ob = import(&mut miter, b, &pis);
+    let mut any = miter.constant(false);
+    for (&x, &y) in oa.iter().zip(&ob) {
+        let d = miter.xor(x, y);
+        any = miter.or(any, d);
+    }
+    miter.mark_output("diff", any);
+    miter
+}
+
+/// `bus >= t` as a circuit (unsigned comparison against a constant).
+///
+/// Folds to a constant when `t` is 0 or exceeds the bus range.
+pub fn ge_const(nl: &mut Netlist, bus: &Bus, t: u128) -> NodeId {
+    let w = bus.width();
+    if t == 0 {
+        return nl.constant(true);
+    }
+    if w < 128 && t >= 1u128 << w {
+        return nl.constant(false);
+    }
+    // LSB-to-MSB fold: acc = (suffix of low bits >= low bits of t).
+    // At bit i: t_i = 1 -> bus_i must be 1 and the rest decide (AND);
+    //           t_i = 0 -> bus_i = 1 decides greater (OR).
+    let mut acc = nl.constant(true);
+    for i in 0..w {
+        let b = bus.bit(i);
+        acc = if t >> i & 1 == 1 {
+            nl.and(b, acc)
+        } else {
+            nl.or(b, acc)
+        };
+    }
+    acc
+}
+
+/// Build the arithmetic comparator miter deciding
+/// `∃ input: |R_golden − R_approx| ≥ t`, where `R` is the unsigned
+/// integer assembled LSB-first from each netlist's output list. The
+/// returned netlist has the shared inputs and a single output `bad`.
+///
+/// # Panics
+///
+/// Panics if the input counts differ (output counts may differ — the
+/// shorter bus is zero-extended by the subtractor).
+pub fn error_ge_miter(golden: &Netlist, approx: &Netlist, t: u128) -> Netlist {
+    assert_eq!(
+        golden.num_inputs(),
+        approx.num_inputs(),
+        "input count mismatch"
+    );
+    let mut miter = Netlist::new(format!("errmiter_{}_{}", golden.name(), approx.name()));
+    let pis = shared_inputs(golden, &mut miter);
+    let og = Bus::from_bits(import(&mut miter, golden, &pis));
+    let oa = Bus::from_bits(import(&mut miter, approx, &pis));
+    let diff = abs_diff(&mut miter, &og, &oa);
+    let bad = ge_const(&mut miter, &diff, t);
+    miter.mark_output("bad", bad);
+    miter
+}
+
+/// Whether a single-output netlist's output is structurally constant
+/// (constant folding already decided the property).
+pub fn constant_output(nl: &Netlist) -> Option<bool> {
+    let node = nl.outputs().first()?.node();
+    match nl.node(node).kind() {
+        GateKind::Const0 => Some(false),
+        GateKind::Const1 => Some(true),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blasys_logic::builder::{add, input_bus, mark_output_bus};
+    use blasys_logic::sim::eval_scalar;
+    use blasys_logic::TruthTable;
+
+    fn adder(width: usize, broken: bool) -> Netlist {
+        let mut nl = Netlist::new("add");
+        let a = input_bus(&mut nl, "a", width);
+        let b = input_bus(&mut nl, "b", width);
+        let mut s = add(&mut nl, &a, &b);
+        if broken {
+            // Drop the carry into an AND to perturb the MSB.
+            let bits: Vec<NodeId> = s.bits().to_vec();
+            let last = *bits.last().unwrap();
+            let perturbed = nl.and(last, bits[0]);
+            let mut bits = bits;
+            *bits.last_mut().unwrap() = perturbed;
+            s = Bus::from_bits(bits);
+        }
+        mark_output_bus(&mut nl, "s", &s);
+        nl
+    }
+
+    #[test]
+    fn import_preserves_function() {
+        let src = adder(3, false);
+        let mut dst = Netlist::new("wrap");
+        let pis: Vec<NodeId> = (0..src.num_inputs())
+            .map(|i| dst.add_input(format!("i{i}")))
+            .collect();
+        let outs = import(&mut dst, &src, &pis);
+        for (o, n) in outs.iter().enumerate() {
+            dst.mark_output(format!("z{o}"), *n);
+        }
+        assert_eq!(
+            TruthTable::from_netlist(&src),
+            TruthTable::from_netlist(&dst)
+        );
+    }
+
+    #[test]
+    fn identical_netlists_fold_to_zero_miter() {
+        let a = adder(4, false);
+        let m = equivalence_miter(&a, &a);
+        // Structural hashing collapses the two copies; the miter output
+        // folds to constant 0 without any SAT call.
+        assert_eq!(constant_output(&m), Some(false));
+    }
+
+    #[test]
+    fn miter_detects_difference() {
+        let a = adder(3, false);
+        let b = adder(3, true);
+        let m = equivalence_miter(&a, &b);
+        let tt = TruthTable::from_netlist(&m);
+        assert!(tt.count_ones(0) > 0, "miter must fire somewhere");
+        // Every row where the miter fires is a true disagreement.
+        for row in 0..tt.rows() {
+            let fire = tt.get(row, 0);
+            let disagrees = eval_scalar(&a, row as u64) != eval_scalar(&b, row as u64);
+            assert_eq!(fire, disagrees, "row {row}");
+        }
+    }
+
+    #[test]
+    fn ge_const_matches_integer_compare() {
+        let mut nl = Netlist::new("ge");
+        let x = input_bus(&mut nl, "x", 5);
+        for t in 0..=33u128 {
+            let g = ge_const(&mut nl, &x, t);
+            nl.mark_output(format!("ge{t}"), g);
+        }
+        let tt = TruthTable::from_netlist(&nl);
+        for row in 0..32usize {
+            for t in 0..=33u128 {
+                assert_eq!(
+                    tt.get(row, t as usize),
+                    row as u128 >= t,
+                    "row {row} >= {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn error_miter_matches_brute_force() {
+        let g = adder(3, false);
+        let a = adder(3, true);
+        for t in [1u128, 2, 4, 7, 9] {
+            let m = error_ge_miter(&g, &a, t);
+            let tt = TruthTable::from_netlist(&m);
+            for row in 0..tt.rows() {
+                let gv = eval_scalar(&g, row as u64);
+                let av = eval_scalar(&a, row as u64);
+                assert_eq!(
+                    tt.get(row, 0),
+                    gv.abs_diff(av) as u128 >= t,
+                    "row {row} t {t}"
+                );
+            }
+        }
+    }
+}

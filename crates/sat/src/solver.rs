@@ -1,0 +1,703 @@
+//! Conflict-driven clause-learning SAT solver.
+//!
+//! A compact MiniSat-style engine: two-watched-literal propagation,
+//! first-UIP conflict analysis with clause learning, VSIDS variable
+//! activities with exponential decay (heap-ordered decisions), phase
+//! saving and Luby-sequence restarts. No external dependencies.
+//!
+//! The solver is deliberately small (no clause deletion, no
+//! preprocessing): the CNFs produced by the Tseitin encoder for BLASYS
+//! miters are a few thousand variables, well inside the envelope where
+//! this configuration is fast.
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it via [`Solver::model_value`].
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+}
+
+/// Search statistics of the last `solve` call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses added.
+    pub learnt_clauses: u64,
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// Max-heap over variables ordered by activity, with position tracking
+/// so activity bumps can re-sift lazily touched entries (MiniSat's
+/// `VarOrder`).
+#[derive(Debug, Default)]
+struct VarOrder {
+    heap: Vec<u32>,
+    pos: Vec<i32>,
+}
+
+impl VarOrder {
+    fn grow_to(&mut self, n: usize) {
+        while self.pos.len() < n {
+            self.pos.push(-1);
+        }
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] >= 0
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        let v = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let pv = self.heap[parent];
+            if act[pv as usize] >= act[v as usize] {
+                break;
+            }
+            self.heap[i] = pv;
+            self.pos[pv as usize] = i as i32;
+            i = parent;
+        }
+        self.heap[i] = v;
+        self.pos[v as usize] = i as i32;
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        let v = self.heap[i];
+        loop {
+            let l = 2 * i + 1;
+            if l >= self.heap.len() {
+                break;
+            }
+            let r = l + 1;
+            let c =
+                if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[l] as usize] {
+                    r
+                } else {
+                    l
+                };
+            let cv = self.heap[c];
+            if act[v as usize] >= act[cv as usize] {
+                break;
+            }
+            self.heap[i] = cv;
+            self.pos[cv as usize] = i as i32;
+            i = c;
+        }
+        self.heap[i] = v;
+        self.pos[v as usize] = i as i32;
+    }
+
+    fn insert(&mut self, v: u32, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn update(&mut self, v: u32, act: &[f64]) {
+        if self.contains(v) {
+            self.sift_up(self.pos[v as usize] as usize, act);
+        }
+    }
+
+    fn pop_max(&mut self, act: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        self.pos[top as usize] = -1;
+        let last = self.heap.pop().unwrap();
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+}
+
+/// The CDCL solver. See the [module docs](self) for the architecture.
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// Watch lists indexed by `Lit::index()`: clauses currently watching
+    /// that literal.
+    watches: Vec<Vec<u32>>,
+    /// Per-variable assignment (`None` = unassigned).
+    assign: Vec<Option<bool>>,
+    /// Decision level of each assigned variable.
+    level: Vec<u32>,
+    /// Clause that implied each assigned variable (`NO_REASON` for
+    /// decisions and level-0 facts).
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarOrder,
+    saved_phase: Vec<bool>,
+    seen: Vec<bool>,
+    unsat: bool,
+    stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// An empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: VarOrder::default(),
+            saved_phase: Vec::new(),
+            seen: Vec::new(),
+            unsat: false,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Load every clause of a [`Cnf`].
+    pub fn from_cnf(cnf: &Cnf) -> Solver {
+        let mut s = Solver::new();
+        s.ensure_vars(cnf.num_vars());
+        for c in cnf.clauses() {
+            s.add_clause(c);
+        }
+        s
+    }
+
+    /// Statistics of the search so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Number of variables known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Allocate variables up to `n` (no-op if already larger).
+    pub fn ensure_vars(&mut self, n: usize) {
+        while self.assign.len() < n {
+            self.assign.push(None);
+            self.level.push(0);
+            self.reason.push(NO_REASON);
+            self.activity.push(0.0);
+            self.saved_phase.push(false);
+            self.seen.push(false);
+            self.watches.push(Vec::new());
+            self.watches.push(Vec::new());
+        }
+        self.order.grow_to(self.assign.len());
+    }
+
+    fn value(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var().index()].map(|v| v == l.asserts())
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Add a clause. Literals falsified at level 0 are removed; clauses
+    /// already satisfied at level 0 are dropped. Must be called before
+    /// `solve` (the solver is at level 0 between solves, so incremental
+    /// use after a `Sat` answer is also fine once `reset_trail` runs).
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        if self.unsat {
+            return;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        // Normalize: sort, dedupe, drop tautologies and false lits.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            assert!(l.var().index() < self.num_vars(), "literal out of range");
+            match self.value(l) {
+                Some(true) => return, // satisfied at level 0
+                Some(false) => continue,
+                None => c.push(l),
+            }
+        }
+        c.sort();
+        c.dedup();
+        for w in c.windows(2) {
+            if w[0].var() == w[1].var() {
+                return; // x | !x — tautology
+            }
+        }
+        match c.len() {
+            0 => self.unsat = true,
+            1 => {
+                self.enqueue(c[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let ci = self.clauses.len() as u32;
+                self.watches[c[0].index()].push(ci);
+                self.watches[c[1].index()].push(ci);
+                self.clauses.push(Clause { lits: c });
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        let v = l.var().index();
+        debug_assert!(self.assign[v].is_none());
+        self.assign[v] = Some(l.asserts());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Two-watched-literal unit propagation. Returns the index of a
+    /// conflicting clause, or `None` when a fixpoint is reached.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let fp = !p; // literal now false
+            let ws = std::mem::take(&mut self.watches[fp.index()]);
+            let mut kept: Vec<u32> = Vec::with_capacity(ws.len());
+            let mut conflict = None;
+            let mut wi = 0usize;
+            while wi < ws.len() {
+                let ci = ws[wi];
+                wi += 1;
+                let clause = &mut self.clauses[ci as usize];
+                // Invariant: the two watched literals sit at positions
+                // 0 and 1; make position 1 the falsified one.
+                if clause.lits[0] == fp {
+                    clause.lits.swap(0, 1);
+                }
+                debug_assert_eq!(clause.lits[1], fp);
+                let first = clause.lits[0];
+                if self.assign[first.var().index()].map(|v| v == first.asserts()) == Some(true) {
+                    kept.push(ci);
+                    continue;
+                }
+                // Look for a non-false replacement watch.
+                let mut moved = false;
+                for k in 2..clause.lits.len() {
+                    let lk = clause.lits[k];
+                    if self.assign[lk.var().index()].map(|v| v == lk.asserts()) != Some(false) {
+                        clause.lits.swap(1, k);
+                        self.watches[clause.lits[1].index()].push(ci);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                kept.push(ci);
+                if self.assign[first.var().index()].is_none() {
+                    self.enqueue(first, ci);
+                } else {
+                    // first is false: conflict. Keep the remaining
+                    // watchers and bail out.
+                    kept.extend_from_slice(&ws[wi..]);
+                    conflict = Some(ci);
+                    break;
+                }
+            }
+            self.watches[fp.index()] = kept;
+            if conflict.is_some() {
+                self.qhead = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(v as u32, &self.activity);
+    }
+
+    fn decay_activities(&mut self) {
+        // Equivalent to multiplying every activity by 0.95: grow the
+        // increment instead (standard VSIDS trick).
+        self.var_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut conflict: u32) -> (Vec<Lit>, u32) {
+        let current = self.decision_level();
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut counter = 0usize;
+        let mut index = self.trail.len();
+        let mut pivot: Option<Lit> = None;
+        loop {
+            let clause = &self.clauses[conflict as usize];
+            for &q in &clause.lits {
+                if pivot == Some(q) {
+                    continue;
+                }
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    if self.level[v] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal of the
+            // current level.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let p = self.trail[index];
+            self.seen[p.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                // p is the first UIP.
+                learnt.insert(0, !p);
+                break;
+            }
+            conflict = self.reason[p.var().index()];
+            debug_assert_ne!(conflict, NO_REASON);
+            pivot = Some(p);
+        }
+        // Bump every variable involved and clear the scratch marks.
+        for &l in &learnt {
+            self.bump_var(l.var().index());
+        }
+        for &l in &learnt[1..] {
+            self.seen[l.var().index()] = false;
+        }
+        // Backtrack level: second-highest level in the clause; move that
+        // literal into watch position 1.
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, bt)
+    }
+
+    fn backtrack(&mut self, target: u32) {
+        while self.decision_level() > target {
+            let limit = self.trail_lim.pop().unwrap();
+            while self.trail.len() > limit {
+                let l = self.trail.pop().unwrap();
+                let v = l.var().index();
+                self.saved_phase[v] = l.asserts();
+                self.assign[v] = None;
+                self.reason[v] = NO_REASON;
+                self.order.insert(v as u32, &self.activity);
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_decision(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assign[v as usize].is_none() {
+                return Some(Var::from_index(v as usize).lit(self.saved_phase[v as usize]));
+            }
+        }
+        None
+    }
+
+    /// The `i`-th term of the Luby restart sequence (1-based):
+    /// 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+    fn luby(mut i: u64) -> u64 {
+        // Find the finite subsequence containing i.
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+        while (1u64 << k) - 1 != i {
+            i -= (1u64 << (k - 1)) - 1;
+            k = 1;
+            while (1u64 << k) - 1 < i {
+                k += 1;
+            }
+        }
+        1u64 << (k - 1)
+    }
+
+    /// Decide satisfiability with a conflict budget; `None` means the
+    /// budget ran out (used by benchmarks to bound pathological inputs).
+    pub fn solve_limited(&mut self, max_conflicts: u64) -> Option<SolveResult> {
+        if self.unsat {
+            return Some(SolveResult::Unsat);
+        }
+        // Fresh search: seed the order with every unassigned variable.
+        for v in 0..self.num_vars() {
+            if self.assign[v].is_none() {
+                self.order.insert(v as u32, &self.activity);
+            }
+        }
+        const RESTART_BASE: u64 = 64;
+        let mut restart_no = 1u64;
+        let mut budget = RESTART_BASE * Self::luby(restart_no);
+        let mut conflicts_here = 0u64;
+        let start_conflicts = self.stats.conflicts;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return Some(SolveResult::Unsat);
+                }
+                let (learnt, bt) = self.analyze(conflict);
+                self.backtrack(bt);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    self.enqueue(asserting, NO_REASON);
+                } else {
+                    let ci = self.clauses.len() as u32;
+                    self.watches[learnt[0].index()].push(ci);
+                    self.watches[learnt[1].index()].push(ci);
+                    self.clauses.push(Clause { lits: learnt });
+                    self.enqueue(asserting, ci);
+                    self.stats.learnt_clauses += 1;
+                }
+                self.decay_activities();
+                if self.stats.conflicts - start_conflicts >= max_conflicts {
+                    self.backtrack(0);
+                    return None;
+                }
+            } else {
+                if conflicts_here >= budget {
+                    // Luby restart.
+                    self.stats.restarts += 1;
+                    restart_no += 1;
+                    budget = RESTART_BASE * Self::luby(restart_no);
+                    conflicts_here = 0;
+                    self.backtrack(0);
+                    continue;
+                }
+                match self.pick_decision() {
+                    None => return Some(SolveResult::Sat),
+                    Some(d) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(d, NO_REASON);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decide satisfiability (no budget).
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_limited(u64::MAX)
+            .expect("unbounded solve cannot exhaust its budget")
+    }
+
+    /// Value of `v` in the model found by the last `Sat` answer.
+    /// Unconstrained variables default to their saved phase.
+    pub fn model_value(&self, v: Var) -> bool {
+        self.assign[v.index()].unwrap_or(self.saved_phase[v.index()])
+    }
+
+    /// Extract the full model as a vector indexed by variable.
+    pub fn model(&self) -> Vec<bool> {
+        (0..self.num_vars())
+            .map(|v| self.model_value(Var::from_index(v)))
+            .collect()
+    }
+
+    /// Undo all decisions, returning the solver to level 0 so more
+    /// clauses can be added after a `Sat` answer (incremental use).
+    pub fn reset_trail(&mut self) {
+        self.backtrack(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: &Var, sign: bool) -> Lit {
+        v.lit(sign)
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        cnf.add_clause(vec![a.positive()]);
+        let mut s = Solver::from_cnf(&cnf);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(a));
+
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        cnf.add_clause(vec![a.positive()]);
+        cnf.add_clause(vec![a.negative()]);
+        let mut s = Solver::from_cnf(&cnf);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn models_satisfy_formula() {
+        // Random 3-CNF at a satisfiable clause density; verify models.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..30 {
+            let nv = 12 + (round % 5);
+            let nc = 3 * nv;
+            let mut cnf = Cnf::new();
+            let vars: Vec<Var> = (0..nv).map(|_| cnf.new_var()).collect();
+            for _ in 0..nc {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = &vars[(next() % nv as u64) as usize];
+                    c.push(lit(v, next() & 1 == 1));
+                }
+                cnf.add_clause(c);
+            }
+            let mut s = Solver::from_cnf(&cnf);
+            if s.solve() == SolveResult::Sat {
+                assert!(cnf.eval(&s.model()), "model must satisfy the CNF");
+            } else {
+                // Cross-check with brute force (small variable count).
+                let any = (0u64..1 << nv).any(|m| {
+                    let model: Vec<bool> = (0..nv).map(|i| m >> i & 1 == 1).collect();
+                    cnf.eval(&model)
+                });
+                assert!(!any, "solver said UNSAT but a model exists");
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn pigeonhole_unsat() {
+        // PHP(4,3): 4 pigeons into 3 holes — classically hard for
+        // resolution at scale, trivial at this size, and definitely
+        // unsatisfiable. Exercises learning and restarts.
+        let pigeons = 4;
+        let holes = 3;
+        let mut cnf = Cnf::new();
+        let mut var = vec![vec![Var::from_index(0); holes]; pigeons];
+        for p in 0..pigeons {
+            for h in 0..holes {
+                var[p][h] = cnf.new_var();
+            }
+        }
+        for p in 0..pigeons {
+            cnf.add_clause(var[p].iter().map(|v| v.positive()).collect::<Vec<_>>());
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    cnf.add_clause(vec![var[p1][h].negative(), var[p2][h].negative()]);
+                }
+            }
+        }
+        let mut s = Solver::from_cnf(&cnf);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn xor_chain_forces_unique_model() {
+        // x0 ^ x1 = 1, x1 ^ x2 = 1, ..., plus x0 = 1 pins every value.
+        let n = 24;
+        let mut cnf = Cnf::new();
+        let vars: Vec<Var> = (0..n).map(|_| cnf.new_var()).collect();
+        for i in 0..n - 1 {
+            let (a, b) = (vars[i], vars[i + 1]);
+            // a ^ b = 1  <=>  (a|b) & (!a|!b)
+            cnf.add_clause(vec![a.positive(), b.positive()]);
+            cnf.add_clause(vec![a.negative(), b.negative()]);
+        }
+        cnf.add_clause(vec![vars[0].positive()]);
+        let mut s = Solver::from_cnf(&cnf);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for (i, v) in vars.iter().enumerate() {
+            assert_eq!(s.model_value(*v), i % 2 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(Solver::luby(i as u64 + 1), e, "term {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn incremental_strengthening() {
+        // Solve, then add a clause blocking the found model; repeat.
+        // Counts the models of (a | b) & (!a | !b) — exactly two.
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause(vec![a.positive(), b.positive()]);
+        cnf.add_clause(vec![a.negative(), b.negative()]);
+        let mut s = Solver::from_cnf(&cnf);
+        let mut count = 0;
+        while s.solve() == SolveResult::Sat {
+            count += 1;
+            assert!(count <= 2, "more models than exist");
+            let block: Vec<Lit> = [a, b].iter().map(|&v| v.lit(!s.model_value(v))).collect();
+            s.reset_trail();
+            s.add_clause(&block);
+        }
+        assert_eq!(count, 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! Offline shim for the `criterion` benchmark harness.
+//!
+//! Provides the subset of the `criterion 0.5` API used by the `bench`
+//! crate: groups, `bench_function`, `iter` / `iter_batched`, throughput
+//! annotation and the `criterion_group!` / `criterion_main!` macros.
+//! Timing is a simple median-of-samples wall-clock measurement — good
+//! enough for relative comparisons in an offline environment, with the
+//! same source-level interface as the real crate.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped (accepted and ignored; the shim
+/// re-runs the setup closure per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), 10, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Finish the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(id: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            times.push(b.elapsed / b.iters as u32);
+        }
+    }
+    times.sort();
+    let median = times.get(times.len() / 2).copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            format!("  ({:.1} Kelem/s)", n as f64 / median.as_secs_f64() / 1e3)
+        }
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / median.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("{id:<48} {median:>12?}/iter{rate}");
+}
+
+/// Per-benchmark measurement context.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time a closure, called once per measured iteration.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Time a closure with per-iteration setup excluded from timing.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Group benchmark functions into a callable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(64));
+        g.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,330 @@
+//! Offline shim for the `proptest` property-testing framework.
+//!
+//! The build environment has no access to crates.io; this crate provides
+//! the subset of the `proptest 1.x` surface the workspace uses:
+//! the [`proptest!`] macro, [`prelude`], [`Strategy`](strategy::Strategy)
+//! with `prop_map`, integer-range and `any::<T>()` strategies, tuple
+//! composition and [`collection::vec`]. Cases are generated from a
+//! deterministic per-test RNG (seeded from the test name), so failures
+//! reproduce exactly; there is no shrinking.
+
+/// Deterministic RNG and run configuration.
+pub mod test_runner {
+    /// Splitmix64 stream used to drive all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from an arbitrary string (e.g. the test name).
+        pub fn for_test(name: &str) -> TestRng {
+            // FNV-1a over the name; any fixed mixing works.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Run configuration (only the case count is honored).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of an associated type.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    fn uniform_u64(rng: &mut TestRng, span: u64) -> u64 {
+        ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+                    fn new_value(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end - self.start) as u64;
+                        self.start + uniform_u64(rng, span) as $t
+                    }
+                }
+                impl Strategy for RangeInclusive<$t> {
+                    type Value = $t;
+                    fn new_value(&self, rng: &mut TestRng) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range strategy");
+                        let span = (hi - lo) as u64 + 1;
+                        if span == 0 {
+                            // Full-width inclusive range.
+                            return rng.next_u64() as $t;
+                        }
+                        lo + uniform_u64(rng, span) as $t
+                    }
+                }
+            )*
+        };
+    }
+    impl_range_strategy!(usize, u8, u16, u32, u64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:ident . $i:tt),+))*) => {
+            $(
+                impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                    type Value = ($($n::Value,)+);
+                    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                        ($(self.$i.new_value(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate a uniform value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {
+            $(impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            })*
+        };
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// Full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.new_value(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec` — vectors of `element` values with a
+    /// length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// The macro- and trait-imports test modules expect.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Assert inside a property (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Define property tests: each `name(arg in strategy, ...)` item expands
+/// to a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_config = $cfg;
+                let mut __pt_rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __pt_case in 0..__pt_config.cases {
+                    let _ = __pt_case;
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::new_value(&($strat), &mut __pt_rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),*) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..=9, y in 1usize..4) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!((1..4).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_map(v in (1usize..=4, any::<u8>()).prop_map(|(n, b)| vec![b; n])) {
+            prop_assert!(!v.is_empty() && v.len() <= 4);
+        }
+
+        #[test]
+        fn collections_sized(v in crate::collection::vec(any::<u16>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -104,6 +104,7 @@ impl Cube {
         if tail_bits != 0 {
             cov[words - 1] = (1u64 << tail_bits) - 1;
         }
+        #[allow(clippy::needless_range_loop)]
         for v in 0..k {
             let bit = 1u32 << v;
             if self.care & bit == 0 {
@@ -331,7 +332,10 @@ mod tests {
 
     #[test]
     fn literal_count_sums() {
-        let s = Sop::new(3, vec![Cube::minterm(0, 3), Cube::minterm(7, 3).without_literal(1)]);
+        let s = Sop::new(
+            3,
+            vec![Cube::minterm(0, 3), Cube::minterm(7, 3).without_literal(1)],
+        );
         assert_eq!(s.literal_count(), 5);
         assert_eq!(s.cube_count(), 2);
     }

@@ -152,9 +152,13 @@ fn run_loop(
         cubes = reduce(&cover, spec.onset, masks, k);
         // Alternate expansion direction between iterations.
         let rev: Vec<usize> = order.iter().rev().copied().collect();
-        let next = irredundant(&expand_all(&cubes, care, masks, k, &rev), spec.onset, masks, k);
-        if (next.cube_count(), next.literal_count()) < (cover.cube_count(), cover.literal_count())
-        {
+        let next = irredundant(
+            &expand_all(&cubes, care, masks, k, &rev),
+            spec.onset,
+            masks,
+            k,
+        );
+        if (next.cube_count(), next.literal_count()) < (cover.cube_count(), cover.literal_count()) {
             cover = next;
         } else {
             break;
@@ -422,7 +426,8 @@ mod tests {
         for seed in 0..20u64 {
             let k = 6;
             let f = |r: usize| {
-                let x = (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed.wrapping_mul(0xDEAD_BEEF);
+                let x =
+                    (r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed.wrapping_mul(0xDEAD_BEEF);
                 (x >> 17) & 1 == 1
             };
             let sop = minimize_column(k, &onset_from_fn(k, f), &EspressoConfig::default());

@@ -159,15 +159,14 @@ fn signal_probabilities(nl: &Netlist, cfg: &EstimateConfig) -> Vec<f64> {
     let mut ones = vec![0u64; nl.len()];
     let mut sim = Simulator::new(nl);
     let mut words = vec![0u64; nl.num_inputs()];
+    #[allow(clippy::needless_range_loop)]
     for b in 0..blocks {
         for (i, w) in words.iter_mut().enumerate() {
             *w = stim[i][b];
         }
         sim.run(&words);
-        for i in 0..nl.len() {
-            ones[i] += sim
-                .value(blasys_logic::NodeId::from_index(i))
-                .count_ones() as u64;
+        for (i, o) in ones.iter_mut().enumerate() {
+            *o += sim.value(blasys_logic::NodeId::from_index(i)).count_ones() as u64;
         }
     }
     let total = (blocks * 64) as f64;
@@ -205,7 +204,11 @@ mod tests {
         let mut nl = Netlist::new("empty");
         let a = nl.add_input("a");
         nl.mark_output("z", a);
-        let m = estimate(&nl, &CellLibrary::typical_65nm(), &EstimateConfig::default());
+        let m = estimate(
+            &nl,
+            &CellLibrary::typical_65nm(),
+            &EstimateConfig::default(),
+        );
         assert_eq!(m.gate_count, 0);
         assert_eq!(m.area_um2, 0.0);
         assert_eq!(m.delay_ns, 0.0);
@@ -246,7 +249,11 @@ mod tests {
         // A 32-bit ripple adder should land within an order of magnitude
         // of the paper's Table 1 entry (320.8 µm², 81.1 µW, 3.23 ns).
         let nl = adder(32);
-        let m = estimate(&nl, &CellLibrary::typical_65nm(), &EstimateConfig::default());
+        let m = estimate(
+            &nl,
+            &CellLibrary::typical_65nm(),
+            &EstimateConfig::default(),
+        );
         assert!(m.area_um2 > 100.0 && m.area_um2 < 3000.0, "{}", m.area_um2);
         assert!(m.power_uw > 5.0 && m.power_uw < 1000.0, "{}", m.power_uw);
         assert!(m.delay_ns > 0.5 && m.delay_ns < 30.0, "{}", m.delay_ns);

@@ -156,14 +156,16 @@ mod tests {
         v
     }
 
+    /// (k, function, expected minimal cube count).
+    type MinimaCase = (usize, fn(usize) -> bool, usize);
+
     #[test]
     fn exact_matches_known_minima() {
-        // (k, function, expected minimal cube count)
-        let cases: Vec<(usize, fn(usize) -> bool, usize)> = vec![
-            (3, |r| (r as u32).count_ones() >= 2, 3),      // majority
-            (3, |r| (r.count_ones() & 1) == 1, 4),         // parity
-            (2, |r| r != 0, 2),                            // or
-            (4, |r| r == 0b1111, 1),                       // and
+        let cases: Vec<MinimaCase> = vec![
+            (3, |r| (r as u32).count_ones() >= 2, 3), // majority
+            (3, |r| (r.count_ones() & 1) == 1, 4),    // parity
+            (2, |r| r != 0, 2),                       // or
+            (4, |r| r == 0b1111, 1),                  // and
         ];
         for (k, f, expect) in cases {
             let sop = minimize_exact(k, &onset_from_fn(k, f));
@@ -202,7 +204,10 @@ mod tests {
     #[test]
     fn constants() {
         let k = 3;
-        assert_eq!(minimize_exact(k, &onset_from_fn(k, |_| false)).cube_count(), 0);
+        assert_eq!(
+            minimize_exact(k, &onset_from_fn(k, |_| false)).cube_count(),
+            0
+        );
         let t = minimize_exact(k, &onset_from_fn(k, |_| true));
         assert_eq!(t.cube_count(), 1);
         assert_eq!(t.literal_count(), 0);

@@ -72,10 +72,7 @@ fn cofactors(bits: &[u64], v: usize) -> (Vec<u64>, Vec<u64>) {
     let rows = 1usize << v;
     if rows > 64 {
         let half_words = bits.len() / 2;
-        (
-            bits[..half_words].to_vec(),
-            bits[half_words..].to_vec(),
-        )
+        (bits[..half_words].to_vec(), bits[half_words..].to_vec())
     } else {
         let half = rows / 2;
         let mask = if half == 64 { !0 } else { (1u64 << half) - 1 };

@@ -236,9 +236,7 @@ mod tests {
     #[test]
     fn wide_window_roundtrip() {
         // k = 10, m = 4 — the paper's window size.
-        let tt = TruthTable::from_fn(10, 4, |row| {
-            (((row * 2654435761usize) >> 7) & 0xF) as u64
-        });
+        let tt = TruthTable::from_fn(10, 4, |row| (((row * 2654435761usize) >> 7) & 0xF) as u64);
         let nl = synthesize_tt(&tt, "k10", &EspressoConfig::default());
         assert!(matches_truth_table(&nl, &tt));
     }

@@ -13,8 +13,12 @@ use rand::{Rng, SeedableRng};
 
 fn main() {
     let nl = multiplier(8);
-    println!("Mult8: {} gates, {} inputs, {} outputs",
-        nl.gate_count(), nl.num_inputs(), nl.num_outputs());
+    println!(
+        "Mult8: {} gates, {} inputs, {} outputs",
+        nl.gate_count(),
+        nl.num_inputs(),
+        nl.num_outputs()
+    );
 
     let result = Blasys::new().samples(20_000).run(&nl);
     let base = result.baseline_metrics();

@@ -22,7 +22,11 @@ fn main() {
     let dy = abs_diff(&mut nl, &y1, &y2);
     let d = add(&mut nl, &dx, &dy);
     mark_output_bus(&mut nl, "d", &d);
-    println!("manhattan6: {} gates, depth {}", nl.gate_count(), nl.depth());
+    println!(
+        "manhattan6: {} gates, depth {}",
+        nl.gate_count(),
+        nl.depth()
+    );
 
     let result = Blasys::new().samples(10_000).run(&nl);
 

@@ -18,10 +18,7 @@ fn main() {
         ("uniform  (UQoR)", OutputWeighting::Uniform),
         ("weighted (WQoR)", OutputWeighting::ValueInfluence),
     ] {
-        let result = Blasys::new()
-            .samples(10_000)
-            .weighting(weighting)
-            .run(&nl);
+        let result = Blasys::new().samples(10_000).weighting(weighting).run(&nl);
         let curve = tradeoff_curve(result.trajectory(), QorMetric::AvgRelative);
         let front = pareto_front(&curve);
         // Summarize: smallest normalized area reachable within a few

@@ -117,6 +117,7 @@ fn synthesized_approximation_respects_budget_out_of_sample() {
     let mut sim_a = Simulator::new(&approx);
     let mut words = vec![0u64; nl.num_inputs()];
     let mut sum_rel = 0.0;
+    #[allow(clippy::needless_range_loop)]
     for b in 0..blocks {
         for (i, w) in words.iter_mut().enumerate() {
             *w = stim[i][b];
@@ -134,5 +135,8 @@ fn synthesized_approximation_respects_budget_out_of_sample() {
         }
     }
     let err = sum_rel / (blocks * 64) as f64;
-    assert!(err < budget * 3.0, "out-of-sample error {err} too far above budget");
+    assert!(
+        err < budget * 3.0,
+        "out-of-sample error {err} too far above budget"
+    );
 }
