@@ -5,11 +5,14 @@
 
 use blasys_bmf::Algebra;
 use blasys_circuits::multiplier;
-use blasys_core::Blasys;
+use blasys_core::{Blasys, Parallelism};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn small_flow() -> Blasys {
-    Blasys::new().samples(1_024).seed(7)
+    Blasys::new()
+        .samples(1_024)
+        .seed(7)
+        .parallelism(Parallelism::Serial)
 }
 
 fn bench_flow(c: &mut Criterion) {
@@ -18,6 +21,19 @@ fn bench_flow(c: &mut Criterion) {
     g.sample_size(10);
 
     g.bench_function("mult4_exhaustive", |b| b.iter(|| small_flow().run(&nl)));
+
+    // Parallel scaling: same flow, same (bit-identical) result, more
+    // workers for window profiling + the exploration candidate sweep.
+    for threads in [2usize, 4] {
+        g.bench_function(format!("mult4_threads{threads}"), |b| {
+            b.iter(|| small_flow().threads(threads).run(&nl))
+        });
+    }
+    let nl6 = multiplier(6);
+    g.bench_function("mult6_serial", |b| b.iter(|| small_flow().run(&nl6)));
+    g.bench_function("mult6_threads4", |b| {
+        b.iter(|| small_flow().threads(4).run(&nl6))
+    });
 
     // Ablation: decomposition size.
     for km in [4usize, 6, 8, 10] {

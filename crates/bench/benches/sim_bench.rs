@@ -43,11 +43,18 @@ fn bench_mc_probe(c: &mut Criterion) {
     let part = decompose(&nl, &DecompConfig::default());
     // Sample-count sensitivity: the probe cost is linear in samples.
     for samples in [1_024usize, 10_240] {
-        let mut ev = Evaluator::new(&nl, &part, &McConfig { samples, seed: 2 });
+        let ev = Evaluator::new(&nl, &part, &McConfig { samples, seed: 2 });
         let zeros = vec![0u16; ev.network().table(0).len()];
         g.throughput(Throughput::Elements(samples as u64));
+        // One-shot probe: allocates a fresh overlay per call.
         g.bench_function(format!("mult8_probe_{samples}"), |b| {
             b.iter(|| ev.qor_with(0, &zeros))
+        });
+        // Hot-loop probe: overlay + scratch reused across probes (the
+        // exploration sweep's per-worker configuration).
+        let mut state = ev.probe_state();
+        g.bench_function(format!("mult8_probe_reused_state_{samples}"), |b| {
+            b.iter(|| ev.qor_probe(&mut state, 0, &zeros))
         });
     }
     g.finish();

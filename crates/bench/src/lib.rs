@@ -15,11 +15,14 @@
 //! All binaries honor two environment variables:
 //! `BLASYS_SAMPLES` (Monte-Carlo samples, default 10 000 — the paper
 //! uses 1 000 000) and `BLASYS_BENCHES` (comma-separated benchmark
-//! filter, default all six).
+//! filter, default all six) — plus a `--threads N` command-line flag
+//! (equivalently the `BLASYS_THREADS` environment variable) selecting
+//! the worker count for the flow's parallel phases. Results are
+//! bit-identical at any thread count.
 
 use blasys_circuits::{all_benchmarks, Benchmark};
 use blasys_core::montecarlo::McConfig;
-use blasys_core::Blasys;
+use blasys_core::{Blasys, Parallelism};
 use blasys_logic::Netlist;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -73,6 +76,39 @@ pub fn sample_count() -> usize {
         .unwrap_or(10_000)
 }
 
+/// Worker-thread setting from the `--threads N` (or `--threads=N`)
+/// command-line flag, falling back to the `BLASYS_THREADS`
+/// environment variable (`N = 0` or `auto` → one worker per hardware
+/// thread; default serial).
+pub fn parallelism_from_args() -> Parallelism {
+    let args: Vec<String> = std::env::args().collect();
+    parallelism_from(&args)
+}
+
+fn parallelism_from(args: &[String]) -> Parallelism {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = match arg.strip_prefix("--threads") {
+            // Bare `--threads`: the value is the next argument; a
+            // trailing flag with no value falls back to the env var.
+            Some("") => match it.next() {
+                Some(v) => v.clone(),
+                None => break,
+            },
+            // `--threads=N`; an unrelated flag sharing the prefix
+            // (e.g. `--threads-report`) keeps the scan going.
+            Some(rest) => match rest.strip_prefix('=') {
+                Some(v) => v.to_string(),
+                None => continue,
+            },
+            None => continue,
+        };
+        // Same spelling rules as BLASYS_THREADS (one shared parser).
+        return Parallelism::parse(&value);
+    }
+    Parallelism::from_env()
+}
+
 /// The benchmark set, filtered by `BLASYS_BENCHES` (comma-separated,
 /// case-insensitive names).
 pub fn selected_benchmarks() -> Vec<Benchmark> {
@@ -92,9 +128,13 @@ pub fn selected_benchmarks() -> Vec<Benchmark> {
 }
 
 /// The standard BLASYS flow configuration used by every experiment
-/// binary (paper parameters: k = m = 10, ASSO + sweep, OR semi-ring).
+/// binary (paper parameters: k = m = 10, ASSO + sweep, OR semi-ring),
+/// honoring the `--threads` flag.
 pub fn standard_flow() -> Blasys {
-    Blasys::new().samples(sample_count()).seed(0xB1A5_1234)
+    Blasys::new()
+        .samples(sample_count())
+        .seed(0xB1A5_1234)
+        .parallelism(parallelism_from_args())
 }
 
 /// The standard Monte-Carlo config matching [`standard_flow`].
@@ -232,5 +272,19 @@ mod tests {
         assert_eq!(f1(1.25), "1.2");
         assert_eq!(f2(1.256), "1.26");
         assert_eq!(pad("ab", 4), "ab  ");
+    }
+
+    #[test]
+    fn threads_flag_parses_both_spellings() {
+        let parse = |args: &[&str]| {
+            let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parallelism_from(&owned)
+        };
+        assert_eq!(parse(&["bin", "--threads", "4"]), Parallelism::Threads(4));
+        assert_eq!(parse(&["bin", "--threads=8"]), Parallelism::Threads(8));
+        assert_eq!(parse(&["bin", "--threads=auto"]), Parallelism::Auto);
+        assert_eq!(parse(&["bin", "--threads", "0"]), Parallelism::Auto);
+        assert_eq!(parse(&["bin", "--threads", "1"]), Parallelism::Serial);
+        assert_eq!(parse(&["bin", "--threads=bogus"]), Parallelism::Serial);
     }
 }

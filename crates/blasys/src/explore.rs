@@ -6,6 +6,19 @@
 //! subcircuit with the smallest error increase is committed. The loop
 //! records one [`TrajectoryPoint`] per committed step and stops at the
 //! error threshold (or when every subcircuit reaches degree 1).
+//!
+//! # Parallel candidate sweep
+//!
+//! The per-step candidate probes are independent `&self` reads of the
+//! shared evaluator model (see [`crate::montecarlo`]), so they run on
+//! the [`blasys_par`] pool — one reusable
+//! [`ProbeState`](crate::montecarlo::ProbeState) per worker. The
+//! winner is reduced deterministically (lowest error, then lowest
+//! cluster index), which makes the trajectory **bit-identical** for
+//! every [`Parallelism`] setting: the serial path is the same
+//! computation with one worker.
+
+use blasys_par::{par_run_states, Parallelism};
 
 use crate::montecarlo::Evaluator;
 use crate::profile::SubcircuitProfile;
@@ -29,6 +42,9 @@ pub struct ExploreConfig {
     pub metric: QorMetric,
     /// Stop criterion.
     pub stop: StopCriterion,
+    /// Worker threads for the per-step candidate sweep. The committed
+    /// trajectory is bit-identical for every setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ExploreConfig {
@@ -36,6 +52,7 @@ impl Default for ExploreConfig {
         ExploreConfig {
             metric: QorMetric::AvgRelative,
             stop: StopCriterion::Exhaust,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -91,25 +108,35 @@ pub fn explore(
         StopCriterion::Exhaust => f64::INFINITY,
     };
 
+    // One probe overlay per worker, reused across every step (epoch
+    // stamping makes reuse across commits sound — see `ProbeState`).
+    let mut probe_states: Vec<_> = (0..cfg.parallelism.worker_count().min(n).max(1))
+        .map(|_| evaluator.probe_state())
+        .collect();
+
     let mut step = 0usize;
     loop {
-        // Candidates: clusters whose degree can still drop.
-        let mut best: Option<(f64, usize, QorReport)> = None;
-        for ci in 0..n {
-            if degrees[ci] <= 1 {
-                continue;
-            }
-            let rows = &profiles[ci].variant(degrees[ci] - 1).table_rows;
-            let report = evaluator.qor_with(ci, rows);
-            let err = report.value(cfg.metric);
-            let better = match &best {
-                None => true,
-                Some((e, _, _)) => err < *e,
-            };
-            if better {
-                best = Some((err, ci, report));
-            }
-        }
+        // Candidates: clusters whose degree can still drop. Probe all
+        // of them concurrently against the shared committed model and
+        // reduce deterministically: lowest error wins, ties broken by
+        // the lowest cluster index — exactly the order the serial scan
+        // would have kept, so the trajectory does not depend on the
+        // worker count.
+        let candidates: Vec<usize> = (0..n).filter(|&ci| degrees[ci] > 1).collect();
+        let probes: Vec<(f64, usize, QorReport)> = par_run_states(
+            cfg.parallelism,
+            candidates.len(),
+            &mut probe_states,
+            |state, i| {
+                let ci = candidates[i];
+                let rows = &profiles[ci].variant(degrees[ci] - 1).table_rows;
+                let report = evaluator.qor_probe(state, ci, rows);
+                (report.value(cfg.metric), ci, report)
+            },
+        );
+        let best = probes
+            .into_iter()
+            .min_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         let Some((err, ci, report)) = best else {
             break; // everything at degree 1
         };
@@ -219,6 +246,7 @@ mod tests {
         let cfg = ExploreConfig {
             metric: QorMetric::AvgRelative,
             stop: StopCriterion::ErrorThreshold(0.05),
+            ..ExploreConfig::default()
         };
         let traj = explore(&mut ev, &profiles, &cfg);
         for p in &traj {
@@ -242,6 +270,29 @@ mod tests {
             assert!(p.qor.avg_relative > 0.02 || p.step <= best.step);
         }
         let _ = profiles;
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let (_nl, profiles, mut ev_serial) = setup(8);
+        let (_nl2, _profiles2, mut ev_par) = setup(8);
+        let serial_cfg = ExploreConfig {
+            parallelism: Parallelism::Serial,
+            ..ExploreConfig::default()
+        };
+        let par_cfg = ExploreConfig {
+            parallelism: Parallelism::Threads(4),
+            ..ExploreConfig::default()
+        };
+        let serial = explore(&mut ev_serial, &profiles, &serial_cfg);
+        let parallel = explore(&mut ev_par, &profiles, &par_cfg);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.changed_cluster, p.changed_cluster);
+            assert_eq!(s.degrees, p.degrees);
+            assert_eq!(s.qor, p.qor, "step {}", s.step);
+            assert_eq!(s.model_area_um2.to_bits(), p.model_area_um2.to_bits());
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use blasys_bmf::{Algebra, Factorizer};
 use blasys_decomp::{decompose, substitute, ClusterImpl, DecompConfig, Partition};
 use blasys_logic::Netlist;
+use blasys_par::Parallelism;
 use blasys_synth::estimate::{estimate, EstimateConfig};
 use blasys_synth::{CellLibrary, DesignMetrics, EspressoConfig};
 
@@ -41,6 +42,7 @@ pub struct Blasys {
     hybrid: bool,
     stimulus: Option<Vec<Vec<u64>>>,
     certify: bool,
+    parallelism: Parallelism,
 }
 
 impl Default for Blasys {
@@ -66,7 +68,30 @@ impl Blasys {
             hybrid: true,
             stimulus: None,
             certify: false,
+            parallelism: Parallelism::default(),
         }
+    }
+
+    /// Worker threads for the flow's parallel phases (window profiling
+    /// and the exploration candidate sweep). The default honors the
+    /// `BLASYS_THREADS` environment variable (unset → serial). Results
+    /// are **bit-identical** at every setting; only wall-clock time
+    /// changes.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Blasys {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Shorthand for [`Blasys::parallelism`]`(Parallelism::Threads(n))`.
+    /// `n = 1` selects the serial path and `n = 0` means one worker
+    /// per hardware thread, matching the `--threads` flag and the
+    /// `BLASYS_THREADS` environment variable.
+    pub fn threads(self, n: usize) -> Blasys {
+        self.parallelism(match n {
+            0 => Parallelism::Auto,
+            1 => Parallelism::Serial,
+            n => Parallelism::Threads(n),
+        })
     }
 
     /// Run the post-exploration certification pass as part of
@@ -186,13 +211,18 @@ impl Blasys {
             estimate: self.estimate,
             output_weights,
             hybrid: self.hybrid,
+            parallelism: self.parallelism,
         };
         let profiles = profile_partition(nl, &partition, &profile_cfg);
         let mut evaluator = match &self.stimulus {
             Some(stim) => Evaluator::with_stimulus(nl, &partition, stim.clone()),
             None => Evaluator::new(nl, &partition, &self.mc),
         };
-        let trajectory = explore(&mut evaluator, &profiles, &self.explore);
+        let explore_cfg = ExploreConfig {
+            parallelism: self.parallelism,
+            ..self.explore
+        };
+        let trajectory = explore(&mut evaluator, &profiles, &explore_cfg);
         let mut result = BlasysResult {
             original: nl.clone(),
             partition,

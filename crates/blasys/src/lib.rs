@@ -13,7 +13,11 @@
 //! 3. **explore**: starting from the exact circuit, repeatedly
 //!    decrement the factorization degree of the subcircuit whose
 //!    approximation hurts whole-circuit QoR least, measured by
-//!    Monte-Carlo simulation — [`explore`] / [`montecarlo`];
+//!    Monte-Carlo simulation — [`explore`] / [`montecarlo`]. Both
+//!    profiling and the per-step candidate sweep run on the
+//!    `blasys-par` work-stealing pool (see [`Parallelism`] and
+//!    [`flow::Blasys::parallelism`]) with bit-identical results at
+//!    any worker count;
 //! 4. **synthesize** the chosen configuration into a gate-level
 //!    netlist and measure area / power / delay — [`flow`];
 //! 5. **certify** (optional, beyond the paper): upgrade the sampled
@@ -73,9 +77,10 @@ pub mod pareto;
 pub mod profile;
 pub mod qor;
 
+pub use blasys_par::Parallelism;
 pub use certify::{prove_exact, CertifiedPoint};
 pub use explore::{ExploreConfig, StopCriterion, TrajectoryPoint};
 pub use flow::{Blasys, BlasysResult};
-pub use montecarlo::{Evaluator, McConfig, Signal, TableNetwork};
+pub use montecarlo::{Evaluator, McConfig, ProbeState, Signal, TableNetwork};
 pub use profile::{profile_partition, SubcircuitProfile, Variant};
 pub use qor::{QorMetric, QorReport};

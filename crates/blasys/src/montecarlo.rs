@@ -7,6 +7,21 @@
 //! (possibly approximate) truth table and the whole circuit becomes a
 //! DAG of table lookups. Swapping one cluster's table is O(1), and a
 //! QoR probe only re-evaluates the clusters downstream of the swap.
+//!
+//! # Shared model + probe overlay
+//!
+//! The evaluator is split into an immutable shared model — the
+//! [`TableNetwork`], the stimulus, the golden outputs, and the
+//! *committed* cluster values — and a cheap per-thread [`ProbeState`]
+//! overlay. A probe ([`Evaluator::qor_probe`]) never touches the
+//! shared state: it recomputes the candidate's downstream cone into
+//! the overlay and resolves every other signal from the committed
+//! values. Because probing takes `&self`, any number of candidate
+//! probes can run concurrently over one evaluator (the parallel
+//! exploration sweep hands each worker thread its own `ProbeState`);
+//! the borrow checker, not a save/restore dance, guarantees that a
+//! probe performs no writes to shared committed values. Only
+//! [`Evaluator::commit`] mutates the model.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -187,8 +202,60 @@ impl Default for McConfig {
     }
 }
 
+/// Evaluate one cluster's 64-sample block: gather per-lane row
+/// indices from the input signal words, then scatter the table rows'
+/// output bits back into per-output words.
+fn eval_block(inputs: &[Signal], rows: &[u16], resolve: impl Fn(Signal) -> u64, out: &mut [u64]) {
+    let mut idx = [0u16; 64];
+    for (i, &sig) in inputs.iter().enumerate() {
+        let mut w = resolve(sig);
+        while w != 0 {
+            let lane = w.trailing_zeros() as usize;
+            w &= w - 1;
+            idx[lane] |= 1 << i;
+        }
+    }
+    for w in out.iter_mut() {
+        *w = 0;
+    }
+    for (lane, &ix) in idx.iter().enumerate() {
+        let row = rows[ix as usize];
+        let mut bits = row;
+        while bits != 0 {
+            let o = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            out[o] |= 1u64 << lane;
+        }
+    }
+}
+
+/// Per-thread overlay for `&self` QoR probes.
+///
+/// Holds the recomputed downstream-cone values of the cluster being
+/// probed plus reusable scratch; everything outside the cone is read
+/// from the evaluator's shared committed values. Validity is tracked
+/// with an epoch stamp, so starting a new probe is O(1) — no clearing,
+/// no allocation. Build one per worker thread with
+/// [`Evaluator::probe_state`] and reuse it across any number of
+/// probes (and across commits: every probe re-derives its cone from
+/// the then-current committed state).
+#[derive(Debug, Clone)]
+pub struct ProbeState {
+    /// Current probe epoch; bumped at the start of every probe.
+    epoch: u64,
+    /// `valid[ci] == epoch` ⇔ `overlay[ci]` holds this probe's values.
+    valid: Vec<u64>,
+    /// Overlay values, `overlay[ci][out * blocks + block]`.
+    overlay: Vec<Vec<u64>>,
+    /// Per-block cluster-output scratch (hoisted out of the probe
+    /// loop; sized to the widest cluster on first use).
+    out_scratch: Vec<u64>,
+    /// Per-block primary-output scratch for QoR accumulation.
+    po_words: Vec<u64>,
+}
+
 /// A reusable QoR evaluator: fixed stimulus, golden outputs from the
-/// exact netlist, probe-and-commit table swaps.
+/// exact netlist, `&self` probes and `&mut self` commits.
 #[derive(Debug)]
 pub struct Evaluator {
     network: TableNetwork,
@@ -196,13 +263,26 @@ pub struct Evaluator {
     stimulus: Vec<Vec<u64>>,
     /// Golden output value per sample.
     golden: Vec<u64>,
-    /// Cached cluster-output words of the *current* network:
+    /// Cached cluster-output words of the *committed* network:
     /// `values[cluster][output][block]`.
     values: Vec<Vec<Vec<u64>>>,
     blocks: usize,
     samples: usize,
     output_bits: usize,
+    /// Reusable per-block scratch for the `&mut self` recompute path
+    /// (commit); probes use their `ProbeState`'s scratch instead.
+    scratch_out: Vec<u64>,
 }
+
+// The parallel candidate sweep shares `&Evaluator` across worker
+// threads. Compile-time guard: the shared model must stay `Sync`
+// (no interior mutability may creep in).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TableNetwork>();
+    assert_send_sync::<Evaluator>();
+    assert_send_sync::<ProbeState>();
+};
 
 impl Evaluator {
     /// Build an evaluator with uniform random stimulus: simulates the
@@ -276,6 +356,7 @@ impl Evaluator {
             blocks,
             samples,
             output_bits: nl.num_outputs(),
+            scratch_out: Vec::new(),
         };
         ev.recompute_all();
         ev
@@ -291,7 +372,32 @@ impl Evaluator {
         &self.network
     }
 
-    fn signal_word(&self, sig: Signal, block: usize) -> u64 {
+    /// A probe overlay sized for this evaluator. Build one per thread
+    /// and reuse it across probes; see [`ProbeState`].
+    pub fn probe_state(&self) -> ProbeState {
+        let max_out = self
+            .network
+            .clusters
+            .iter()
+            .map(|c| c.num_outputs)
+            .max()
+            .unwrap_or(0);
+        ProbeState {
+            epoch: 0,
+            valid: vec![0; self.network.clusters.len()],
+            overlay: self
+                .network
+                .clusters
+                .iter()
+                .map(|c| vec![0u64; c.num_outputs * self.blocks])
+                .collect(),
+            out_scratch: Vec::with_capacity(max_out),
+            po_words: Vec::with_capacity(self.network.po_sigs.len()),
+        }
+    }
+
+    /// Committed value of a signal at `block`.
+    fn committed_word(&self, sig: Signal, block: usize) -> u64 {
         match sig {
             Signal::Pi(i) => self.stimulus[i][block],
             Signal::ClusterOut { idx, out } => self.values[idx][out][block],
@@ -300,59 +406,20 @@ impl Evaluator {
         }
     }
 
-    fn eval_cluster_block(&self, cluster: usize, block: usize, out: &mut [u64]) {
-        let c = &self.network.clusters[cluster];
-        // Gather per-lane row indices.
-        let mut idx = [0u16; 64];
-        for (i, &sig) in c.inputs.iter().enumerate() {
-            let mut w = self.signal_word(sig, block);
-            while w != 0 {
-                let lane = w.trailing_zeros() as usize;
-                w &= w - 1;
-                idx[lane] |= 1 << i;
-            }
-        }
-        for w in out.iter_mut() {
-            *w = 0;
-        }
-        for (lane, &ix) in idx.iter().enumerate() {
-            let row = c.rows[ix as usize];
-            let mut bits = row;
-            while bits != 0 {
-                let o = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                out[o] |= 1u64 << lane;
-            }
-        }
-    }
-
-    fn recompute_all(&mut self) {
-        for ci in 0..self.network.clusters.len() {
-            self.recompute_cluster(ci);
-        }
-    }
-
-    fn recompute_cluster(&mut self, ci: usize) {
-        let m = self.network.clusters[ci].num_outputs;
-        let mut out = vec![0u64; m];
-        for b in 0..self.blocks {
-            self.eval_cluster_block(ci, b, &mut out);
-            for (o, &w) in out.iter().enumerate() {
-                self.values[ci][o][b] = w;
-            }
-        }
-    }
-
-    /// QoR of the current network state.
-    pub fn qor_current(&self) -> QorReport {
+    /// Accumulate whole-circuit QoR with primary outputs resolved by
+    /// `resolve`; `po_words` is caller-owned scratch.
+    fn qor_via(
+        &self,
+        po_words: &mut Vec<u64>,
+        resolve: impl Fn(Signal, usize) -> u64,
+    ) -> QorReport {
+        po_words.clear();
+        po_words.resize(self.network.po_sigs.len(), 0);
         let mut acc = QorAccumulator::new(self.output_bits);
         for b in 0..self.blocks {
-            let po_words: Vec<u64> = self
-                .network
-                .po_sigs
-                .iter()
-                .map(|&s| self.signal_word(s, b))
-                .collect();
+            for (o, &sig) in self.network.po_sigs.iter().enumerate() {
+                po_words[o] = resolve(sig, b);
+            }
             for lane in 0..64 {
                 let mut v = 0u64;
                 for (o, w) in po_words.iter().enumerate() {
@@ -364,34 +431,123 @@ impl Evaluator {
         acc.finish()
     }
 
-    /// Probe: QoR if `cluster` used `rows`, leaving the network
-    /// unchanged. Only downstream clusters are re-evaluated.
-    pub fn qor_with(&mut self, cluster: usize, rows: &[u16]) -> QorReport {
-        let saved_rows = std::mem::replace(&mut self.network.clusters[cluster].rows, rows.to_vec());
-        let affected: Vec<usize> = self.network.downstream(cluster).to_vec();
-        let saved_values: Vec<(usize, Vec<Vec<u64>>)> = affected
-            .iter()
-            .map(|&ci| (ci, self.values[ci].clone()))
-            .collect();
-        for &ci in &affected {
-            self.recompute_cluster(ci);
+    /// QoR of the committed network state.
+    pub fn qor_current(&self) -> QorReport {
+        let mut po_words = Vec::new();
+        self.qor_via(&mut po_words, |sig, b| self.committed_word(sig, b))
+    }
+
+    /// Probe: QoR if `cluster` used `rows`, without touching the
+    /// shared committed state. Only the downstream cone of `cluster`
+    /// is re-evaluated, into `state`'s overlay; everything else reads
+    /// the committed values. Safe to call concurrently from many
+    /// threads, each with its own `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was built for a different evaluator shape or
+    /// `rows` does not match the cluster's table shape.
+    pub fn qor_probe(&self, state: &mut ProbeState, cluster: usize, rows: &[u16]) -> QorReport {
+        assert_eq!(
+            state.overlay.len(),
+            self.network.clusters.len(),
+            "probe state must be built by this evaluator"
+        );
+        assert_eq!(
+            rows.len(),
+            self.network.clusters[cluster].rows.len(),
+            "table shape must match the cluster window"
+        );
+        state.epoch += 1;
+        let epoch = state.epoch;
+        let blocks = self.blocks;
+        for &ci in self.network.downstream(cluster) {
+            let c = &self.network.clusters[ci];
+            let use_rows: &[u16] = if ci == cluster { rows } else { &c.rows };
+            // Detach this cluster's overlay strip so the resolver can
+            // read the rest of the state while we fill it. A cluster
+            // never reads its own outputs (combinational DAG), so the
+            // temporarily empty slot is unobservable.
+            let mut mine = std::mem::take(&mut state.overlay[ci]);
+            debug_assert_eq!(mine.len(), c.num_outputs * blocks);
+            let mut out = std::mem::take(&mut state.out_scratch);
+            out.clear();
+            out.resize(c.num_outputs, 0);
+            for b in 0..blocks {
+                eval_block(
+                    &c.inputs,
+                    use_rows,
+                    |sig| match sig {
+                        Signal::ClusterOut { idx, out } if state.valid[idx] == epoch => {
+                            state.overlay[idx][out * blocks + b]
+                        }
+                        other => self.committed_word(other, b),
+                    },
+                    &mut out,
+                );
+                for (o, &w) in out.iter().enumerate() {
+                    mine[o * blocks + b] = w;
+                }
+            }
+            state.out_scratch = out;
+            state.overlay[ci] = mine;
+            state.valid[ci] = epoch;
         }
-        let report = self.qor_current();
-        // Restore.
-        self.network.clusters[cluster].rows = saved_rows;
-        for (ci, vals) in saved_values {
-            self.values[ci] = vals;
-        }
+        let mut po_words = std::mem::take(&mut state.po_words);
+        let report = self.qor_via(&mut po_words, |sig, b| match sig {
+            Signal::ClusterOut { idx, out } if state.valid[idx] == epoch => {
+                state.overlay[idx][out * blocks + b]
+            }
+            other => self.committed_word(other, b),
+        });
+        state.po_words = po_words;
         report
     }
 
-    /// Commit a table swap permanently.
+    /// Probe with a one-shot internal overlay. Convenience wrapper
+    /// around [`Evaluator::qor_probe`] — hot loops should build a
+    /// [`ProbeState`] once per thread and reuse it instead.
+    pub fn qor_with(&self, cluster: usize, rows: &[u16]) -> QorReport {
+        let mut state = self.probe_state();
+        self.qor_probe(&mut state, cluster, rows)
+    }
+
+    /// Commit a table swap permanently (recomputes the committed
+    /// values of the downstream cone).
     pub fn commit(&mut self, cluster: usize, rows: Vec<u16>) {
         self.network.set_table(cluster, rows);
         let affected: Vec<usize> = self.network.downstream(cluster).to_vec();
         for ci in affected {
             self.recompute_cluster(ci);
         }
+    }
+
+    fn recompute_all(&mut self) {
+        for ci in 0..self.network.clusters.len() {
+            self.recompute_cluster(ci);
+        }
+    }
+
+    fn recompute_cluster(&mut self, ci: usize) {
+        let m = self.network.clusters[ci].num_outputs;
+        let mut out = std::mem::take(&mut self.scratch_out);
+        out.clear();
+        out.resize(m, 0);
+        for b in 0..self.blocks {
+            {
+                let c = &self.network.clusters[ci];
+                eval_block(
+                    &c.inputs,
+                    &c.rows,
+                    |sig| self.committed_word(sig, b),
+                    &mut out,
+                );
+            }
+            for (o, &w) in out.iter().enumerate() {
+                self.values[ci][o][b] = w;
+            }
+        }
+        self.scratch_out = out;
     }
 }
 
@@ -431,12 +587,84 @@ mod tests {
     fn probing_does_not_mutate() {
         let nl = adder(8);
         let part = decompose(&nl, &DecompConfig::default());
-        let mut ev = Evaluator::new(&nl, &part, &small_cfg());
+        let ev = Evaluator::new(&nl, &part, &small_cfg());
         let zeros = vec![0u16; ev.network().table(0).len()];
         let probe = ev.qor_with(0, &zeros);
         assert!(probe.avg_relative > 0.0, "zeroing a cluster must hurt");
         let after = ev.qor_current();
-        assert_eq!(after.avg_relative, 0.0, "probe must roll back");
+        assert_eq!(after.avg_relative, 0.0, "probe must leave the model exact");
+    }
+
+    #[test]
+    fn probe_writes_nothing_to_committed_state() {
+        // `qor_probe` takes `&self`, so the type system already forbids
+        // writes to the shared model; this guards the invariant
+        // behaviorally against a future interior-mutability slip.
+        let nl = adder(8);
+        let part = decompose(&nl, &DecompConfig::default());
+        let ev = Evaluator::new(&nl, &part, &small_cfg());
+        let committed_values = ev.values.clone();
+        let committed_tables: Vec<Vec<u16>> = (0..ev.network().len())
+            .map(|c| ev.network().table(c).to_vec())
+            .collect();
+        let mut st = ev.probe_state();
+        for cluster in 0..ev.network().len() {
+            let zeros = vec![0u16; ev.network().table(cluster).len()];
+            let _ = ev.qor_probe(&mut st, cluster, &zeros);
+        }
+        assert_eq!(ev.values, committed_values, "committed values untouched");
+        for (c, rows) in committed_tables.iter().enumerate() {
+            assert_eq!(
+                ev.network().table(c),
+                &rows[..],
+                "committed tables untouched"
+            );
+        }
+    }
+
+    #[test]
+    fn reused_probe_state_matches_fresh_state() {
+        // One state reused across different clusters, interleaved with
+        // commits, must report exactly what a fresh state reports.
+        let nl = adder(8);
+        let part = decompose(&nl, &DecompConfig::default());
+        let mut ev = Evaluator::new(&nl, &part, &small_cfg());
+        let mut reused = ev.probe_state();
+        let n = ev.network().len();
+        for cluster in 0..n {
+            let zeros = vec![0u16; ev.network().table(cluster).len()];
+            let with_reused = ev.qor_probe(&mut reused, cluster, &zeros);
+            let with_fresh = ev.qor_with(cluster, &zeros);
+            assert_eq!(with_reused, with_fresh, "cluster {cluster}");
+        }
+        // Commit a change, then keep probing with the same state: it
+        // must pick up the new committed baseline.
+        let zeros = vec![0u16; ev.network().table(0).len()];
+        ev.commit(0, zeros);
+        for cluster in 1..n {
+            let zeros = vec![0u16; ev.network().table(cluster).len()];
+            let with_reused = ev.qor_probe(&mut reused, cluster, &zeros);
+            let with_fresh = ev.qor_with(cluster, &zeros);
+            assert_eq!(with_reused, with_fresh, "post-commit cluster {cluster}");
+        }
+    }
+
+    #[test]
+    fn concurrent_probes_match_serial_probes() {
+        let nl = adder(8);
+        let part = decompose(&nl, &DecompConfig::default());
+        let ev = Evaluator::new(&nl, &part, &small_cfg());
+        let n = ev.network().len();
+        let serial: Vec<QorReport> = (0..n)
+            .map(|c| ev.qor_with(c, &vec![0u16; ev.network().table(c).len()]))
+            .collect();
+        let threaded = blasys_par::par_run_with(
+            blasys_par::Parallelism::Threads(4),
+            n,
+            || ev.probe_state(),
+            |st, c| ev.qor_probe(st, c, &vec![0u16; ev.network().table(c).len()]),
+        );
+        assert_eq!(serial, threaded);
     }
 
     #[test]
@@ -467,8 +695,8 @@ mod tests {
     fn evaluator_is_deterministic_per_seed() {
         let nl = adder(6);
         let part = decompose(&nl, &DecompConfig::default());
-        let mut e1 = Evaluator::new(&nl, &part, &small_cfg());
-        let mut e2 = Evaluator::new(&nl, &part, &small_cfg());
+        let e1 = Evaluator::new(&nl, &part, &small_cfg());
+        let e2 = Evaluator::new(&nl, &part, &small_cfg());
         let zeros = vec![0u16; e1.network().table(0).len()];
         assert_eq!(e1.qor_with(0, &zeros), e2.qor_with(0, &zeros));
     }

@@ -10,6 +10,7 @@
 use blasys_bmf::{metrics, Algebra, Algorithm, Factorizer};
 use blasys_decomp::{cluster_truth_table, extract_cluster_netlist, Partition};
 use blasys_logic::{Netlist, TruthTable};
+use blasys_par::{par_run, Parallelism};
 use blasys_synth::estimate::{estimate, EstimateConfig};
 use blasys_synth::{synthesize_tt, CellLibrary, EspressoConfig};
 
@@ -88,6 +89,10 @@ pub struct ProfileConfig {
     /// are kept and the lowest-error one wins (falling back to the
     /// smallest one when none saves area).
     pub hybrid: bool,
+    /// Worker threads for per-window profiling. Windows are profiled
+    /// independently (BMF ladder + variant synthesis per cluster), so
+    /// the resulting profiles are identical for every setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ProfileConfig {
@@ -99,26 +104,28 @@ impl Default for ProfileConfig {
             estimate: EstimateConfig::default(),
             output_weights: None,
             hybrid: true,
+            parallelism: Parallelism::default(),
         }
     }
 }
 
 /// Profile every cluster of a partition (Algorithm 1, lines 3–10).
+///
+/// Windows are independent — each worker extracts its cluster's truth
+/// table and reference netlist from the shared (read-only) inputs and
+/// builds the full degree ladder — so they profile in parallel under
+/// `cfg.parallelism`, with identical results at any worker count.
 pub fn profile_partition(
     nl: &Netlist,
     partition: &Partition,
     cfg: &ProfileConfig,
 ) -> Vec<SubcircuitProfile> {
-    partition
-        .clusters()
-        .iter()
-        .enumerate()
-        .map(|(ci, cluster)| {
-            let tt = cluster_truth_table(nl, cluster);
-            let reference = extract_cluster_netlist(nl, cluster, &format!("s{ci}_ref"));
-            profile_window_with_reference(ci, &tt, Some(reference), cfg)
-        })
-        .collect()
+    par_run(cfg.parallelism, partition.len(), |ci| {
+        let cluster = &partition.clusters()[ci];
+        let tt = cluster_truth_table(nl, cluster);
+        let reference = extract_cluster_netlist(nl, cluster, &format!("s{ci}_ref"));
+        profile_window_with_reference(ci, &tt, Some(reference), cfg)
+    })
 }
 
 /// Profile a single window truth table at every degree.

@@ -8,6 +8,7 @@ use blasys_decomp::{
     Partition,
 };
 use blasys_logic::{Netlist, NodeId, TruthTable};
+use blasys_par::{par_run, Parallelism};
 use blasys_synth::estimate::{estimate, EstimateConfig};
 use blasys_synth::{
     gate_cost, map_sop, minimize_column, shannon_columns, CellLibrary, DesignMetrics,
@@ -39,6 +40,11 @@ pub struct SalsaConfig {
     /// uniform random from `mc`. Pass the same stimulus as the BLASYS
     /// run for a paired comparison.
     pub stimulus: Option<Vec<Vec<u64>>>,
+    /// Worker threads for ladder construction and the initial cost
+    /// scan (the greedy walk itself is sequential by design: every
+    /// probe depends on the previous commit). Results are identical
+    /// at every setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SalsaConfig {
@@ -52,6 +58,7 @@ impl Default for SalsaConfig {
             metric: QorMetric::AvgRelative,
             ladder_steps: 5,
             stimulus: None,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -94,15 +101,14 @@ pub fn run_salsa(nl: &Netlist, cfg: &SalsaConfig, threshold: f64) -> SalsaResult
         .map(|c| cluster_truth_table(nl, c))
         .collect();
 
-    // Ladders per (cluster, column).
-    let ladders: Vec<Vec<Vec<ColumnVariant>>> = tables
-        .iter()
-        .map(|tt| {
-            (0..tt.num_outputs())
-                .map(|col| column_ladder(tt, col, cfg.ladder_steps, &cfg.espresso))
-                .collect()
-        })
-        .collect();
+    // Ladders per (cluster, column) — independent minimization
+    // problems, built in parallel.
+    let ladders: Vec<Vec<Vec<ColumnVariant>>> = par_run(cfg.parallelism, tables.len(), |ci| {
+        let tt = &tables[ci];
+        (0..tt.num_outputs())
+            .map(|col| column_ladder(tt, col, cfg.ladder_steps, &cfg.espresso))
+            .collect()
+    });
 
     let mut evaluator = match &cfg.stimulus {
         Some(stim) => Evaluator::with_stimulus(nl, &partition, stim.clone()),
@@ -124,21 +130,20 @@ pub fn run_salsa(nl: &Netlist, cfg: &SalsaConfig, threshold: f64) -> SalsaResult
     let order = column_order(nl, &partition);
 
     // Current per-cluster replacement cost (exact = original gates).
-    let mut cost_now: Vec<usize> = (0..partition.len())
-        .map(|ci| {
-            gate_cost(&build_cluster_impl(
-                nl,
-                &partition,
-                ci,
-                &tables[ci],
-                &ladders[ci],
-                &rung[ci],
-                &cfg.espresso,
-            ))
-        })
-        .collect();
+    let mut cost_now: Vec<usize> = par_run(cfg.parallelism, partition.len(), |ci| {
+        gate_cost(&build_cluster_impl(
+            nl,
+            &partition,
+            ci,
+            &tables[ci],
+            &ladders[ci],
+            &rung[ci],
+            &cfg.espresso,
+        ))
+    });
 
     let mut moves = 0usize;
+    let mut probe = evaluator.probe_state();
     for (ci, col) in order {
         // Walk the ladder: commit rungs that both shrink the cluster
         // implementation (SALSA never accepts growth) and keep the
@@ -162,7 +167,7 @@ pub fn run_salsa(nl: &Netlist, cfg: &SalsaConfig, threshold: f64) -> SalsaResult
                 continue;
             }
             let candidate_rows = rows_with_column(&rows_now[ci], &ladders[ci][col][next].bits, col);
-            let report = evaluator.qor_with(ci, &candidate_rows);
+            let report = evaluator.qor_probe(&mut probe, ci, &candidate_rows);
             if report.value(cfg.metric) <= threshold {
                 evaluator.commit(ci, candidate_rows.clone());
                 rows_now[ci] = candidate_rows;

@@ -4,6 +4,7 @@ pub use blasys_circuits as circuits;
 pub use blasys_core as blasys;
 pub use blasys_decomp as decomp;
 pub use blasys_logic as logic;
+pub use blasys_par as par;
 pub use blasys_salsa as salsa;
 pub use blasys_sat as sat;
 pub use blasys_synth as synth;
