@@ -85,7 +85,12 @@ pub fn parallelism_from_args() -> Parallelism {
     parallelism_from(&args)
 }
 
-fn parallelism_from(args: &[String]) -> Parallelism {
+/// Scan an explicit argument list for the `--threads` flag (both
+/// spellings), falling back to `BLASYS_THREADS`. The value grammar is
+/// [`Parallelism::parse`] — the same parser the `blasys` CLI and the
+/// environment variable use, so every entry point accepts identical
+/// spellings.
+pub fn parallelism_from(args: &[String]) -> Parallelism {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let value = match arg.strip_prefix("--threads") {
@@ -222,29 +227,40 @@ pub fn f2(x: f64) -> String {
     format!("{x:.2}")
 }
 
-/// Print a simple aligned table: header row then data rows.
-pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+/// Render a simple aligned table (header row, rule, data rows) into a
+/// string, one trailing newline per row.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
             widths[i] = widths[i].max(cell.len());
         }
     }
+    let mut out = String::new();
     let line: String = headers
         .iter()
         .enumerate()
         .map(|(i, h)| pad(h, widths[i] + 2))
         .collect();
-    println!("{}", line.trim_end());
-    println!("{}", "-".repeat(line.trim_end().len()));
+    out.push_str(line.trim_end());
+    out.push('\n');
+    out.push_str(&"-".repeat(line.trim_end().len()));
+    out.push('\n');
     for row in rows {
         let line: String = row
             .iter()
             .enumerate()
             .map(|(i, c)| pad(c, widths[i] + 2))
             .collect();
-        println!("{}", line.trim_end());
+        out.push_str(line.trim_end());
+        out.push('\n');
     }
+    out
+}
+
+/// Print a simple aligned table: header row then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", format_table(headers, rows));
 }
 
 #[cfg(test)]

@@ -56,6 +56,29 @@ impl CertifiedPoint {
 /// Prove exact functional equivalence with the SAT backend (installs it
 /// on first use). Returns the full verdict so callers can inspect a
 /// counterexample on failure.
+///
+/// # Examples
+///
+/// Formal comparison of two structurally different implementations
+/// (`examples/custom_datapath.rs` checks its exact resynthesis the
+/// same way):
+///
+/// ```
+/// use blasys_core::prove_exact;
+/// use blasys_logic::builder::{add, input_bus, mark_output_bus};
+/// use blasys_logic::{Equivalence, Netlist};
+///
+/// let build = |name: &str| {
+///     let mut nl = Netlist::new(name);
+///     let a = input_bus(&mut nl, "a", 8);
+///     let b = input_bus(&mut nl, "b", 8);
+///     let s = add(&mut nl, &a, &b);
+///     mark_output_bus(&mut nl, "s", &s);
+///     nl
+/// };
+/// let verdict = prove_exact(&build("golden"), &build("candidate"));
+/// assert_eq!(verdict, Equivalence::Equal { exhaustive: true });
+/// ```
 pub fn prove_exact(golden: &Netlist, candidate: &Netlist) -> Equivalence {
     blasys_sat::install_backend();
     check_equiv(golden, candidate, &EquivConfig::with_backend(Backend::Sat))

@@ -99,6 +99,23 @@ impl Blasys {
     /// absolute error is certified exactly with the SAT engine and
     /// stamped into its [`QorReport`](crate::qor::QorReport) (see
     /// [`BlasysResult::certify_step`] for certifying other steps).
+    ///
+    /// # Examples
+    ///
+    /// The certificate always dominates the sampled bound
+    /// (`examples/approximate_multiplier.rs` validates designs this
+    /// way before trusting them on a workload):
+    ///
+    /// ```
+    /// use blasys_circuits::multiplier;
+    /// use blasys_core::Blasys;
+    ///
+    /// let nl = multiplier(2);
+    /// let result = Blasys::new().samples(512).certify(true).run(&nl);
+    /// let last = result.trajectory().last().unwrap();
+    /// let certified = last.qor.certified_worst_absolute.unwrap();
+    /// assert!(certified >= last.qor.worst_absolute);
+    /// ```
     pub fn certify(mut self, certify: bool) -> Blasys {
         self.certify = certify;
         self
@@ -177,6 +194,24 @@ impl Blasys {
     }
 
     /// Select the weighted-QoR scheme.
+    ///
+    /// # Examples
+    ///
+    /// Weighting factorization errors by output significance (the
+    /// paper's WQoR, compared against UQoR in
+    /// `examples/weighted_qor.rs`):
+    ///
+    /// ```
+    /// use blasys_circuits::multiplier;
+    /// use blasys_core::flow::OutputWeighting;
+    /// use blasys_core::Blasys;
+    ///
+    /// let result = Blasys::new()
+    ///     .samples(512)
+    ///     .weighting(OutputWeighting::ValueInfluence)
+    ///     .run(&multiplier(2));
+    /// assert_eq!(result.trajectory()[0].qor.avg_relative, 0.0);
+    /// ```
     pub fn weighting(mut self, weighting: OutputWeighting) -> Blasys {
         self.weighting = weighting;
         self
@@ -188,12 +223,40 @@ impl Blasys {
         self
     }
 
+    /// Run the full flow on a netlist parsed from a file (or any other
+    /// untrusted source), validating the interface limits that
+    /// [`Blasys::run`] would otherwise enforce by panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] when the netlist has no outputs, no
+    /// gates to approximate, or more outputs than the 64-bit QoR value
+    /// model supports.
+    pub fn try_run(&self, nl: &Netlist) -> Result<BlasysResult, FlowError> {
+        if nl.num_outputs() == 0 {
+            return Err(FlowError::NoOutputs);
+        }
+        if nl.num_outputs() > 64 {
+            return Err(FlowError::TooManyOutputs {
+                outputs: nl.num_outputs(),
+            });
+        }
+        if nl.num_inputs() == 0 {
+            return Err(FlowError::NoInputs);
+        }
+        if nl.gate_count() == 0 {
+            return Err(FlowError::NoGates);
+        }
+        Ok(self.run(nl))
+    }
+
     /// Run the full flow on a netlist.
     ///
     /// # Panics
     ///
     /// Panics if the netlist has more than 64 outputs or contains no
-    /// gates.
+    /// gates. Use [`Blasys::try_run`] for circuits from untrusted
+    /// sources (e.g. parsed BLIF files).
     pub fn run(&self, nl: &Netlist) -> BlasysResult {
         let partition = decompose(nl, &self.decomp);
         assert!(
@@ -238,6 +301,42 @@ impl Blasys {
         result
     }
 }
+
+/// Why a netlist cannot be driven through the flow (the checks behind
+/// [`Blasys::try_run`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowError {
+    /// The netlist declares no primary outputs, so there is no QoR to
+    /// measure.
+    NoOutputs,
+    /// The netlist declares no primary inputs.
+    NoInputs,
+    /// The netlist contains no gates to approximate (inputs wired
+    /// straight to outputs, or constants only).
+    NoGates,
+    /// The numeric QoR model packs outputs into a `u64` value; wider
+    /// interfaces are not supported.
+    TooManyOutputs {
+        /// The offending output count.
+        outputs: usize,
+    },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::NoOutputs => write!(f, "netlist has no primary outputs"),
+            FlowError::NoInputs => write!(f, "netlist has no primary inputs"),
+            FlowError::NoGates => write!(f, "netlist contains no gates to approximate"),
+            FlowError::TooManyOutputs { outputs } => write!(
+                f,
+                "netlist has {outputs} outputs; the QoR value model supports at most 64"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
 
 /// Exact resynthesis without the exploration phase: every window of
 /// the decomposition replaced by its exactly resynthesized variant —
@@ -332,6 +431,16 @@ impl BlasysResult {
         &self.trajectory
     }
 
+    /// The cell library all metrics were estimated with.
+    pub fn library(&self) -> &CellLibrary {
+        &self.library
+    }
+
+    /// The estimator configuration all metrics were estimated with.
+    pub fn estimate_config(&self) -> &EstimateConfig {
+        &self.estimate
+    }
+
     /// Synthesize the netlist of one trajectory point: every cluster is
     /// replaced by its active variant's compressor/decompressor (the
     /// exact resynthesis for clusters still at full degree).
@@ -364,6 +473,32 @@ impl BlasysResult {
 
     /// Index of the deepest trajectory point whose metric stays within
     /// `threshold`.
+    ///
+    /// # Examples
+    ///
+    /// Pick the deepest design within a 5 % error budget and
+    /// synthesize it to gates (`examples/quickstart.rs` in miniature):
+    ///
+    /// ```
+    /// use blasys_core::{Blasys, QorMetric};
+    /// use blasys_logic::builder::{add, input_bus, mark_output_bus};
+    /// use blasys_logic::Netlist;
+    ///
+    /// let mut nl = Netlist::new("add4");
+    /// let a = input_bus(&mut nl, "a", 4);
+    /// let b = input_bus(&mut nl, "b", 4);
+    /// let s = add(&mut nl, &a, &b);
+    /// mark_output_bus(&mut nl, "s", &s);
+    ///
+    /// let result = Blasys::new().samples(1024).run(&nl);
+    /// let step = result
+    ///     .best_step_under(QorMetric::AvgRelative, 0.05)
+    ///     .expect("step 0 is exact, so always within budget");
+    /// assert!(result.trajectory()[step].qor.avg_relative <= 0.05);
+    /// let approx = result.synthesize_step(step);
+    /// assert!(result.metrics_step(step).area_um2 <= result.baseline_metrics().area_um2);
+    /// assert!(approx.num_outputs() == nl.num_outputs());
+    /// ```
     pub fn best_step_under(&self, metric: QorMetric, threshold: f64) -> Option<usize> {
         self.trajectory
             .iter()

@@ -68,6 +68,8 @@
 //! assert!(result.trajectory().len() > 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod approx;
 pub mod certify;
 pub mod explore;
@@ -76,11 +78,13 @@ pub mod montecarlo;
 pub mod pareto;
 pub mod profile;
 pub mod qor;
+pub mod report;
 
 pub use blasys_par::Parallelism;
 pub use certify::{prove_exact, CertifiedPoint};
 pub use explore::{ExploreConfig, StopCriterion, TrajectoryPoint};
-pub use flow::{Blasys, BlasysResult};
+pub use flow::{Blasys, BlasysResult, FlowError};
 pub use montecarlo::{Evaluator, McConfig, ProbeState, Signal, TableNetwork};
 pub use profile::{profile_partition, SubcircuitProfile, Variant};
 pub use qor::{QorMetric, QorReport};
+pub use report::{FlowReport, Json};

@@ -19,6 +19,28 @@ pub struct TradeoffPoint {
 
 /// Project a trajectory onto (metric, normalized area) points.
 ///
+/// # Examples
+///
+/// Extract the trade-off curve of a flow run and keep its Pareto
+/// front (`examples/weighted_qor.rs` in miniature):
+///
+/// ```
+/// use blasys_circuits::multiplier;
+/// use blasys_core::pareto::{pareto_front, tradeoff_curve};
+/// use blasys_core::{Blasys, QorMetric};
+///
+/// let result = Blasys::new().samples(512).run(&multiplier(2));
+/// let curve = tradeoff_curve(result.trajectory(), QorMetric::AvgRelative);
+/// assert_eq!(curve.len(), result.trajectory().len());
+/// assert_eq!(curve[0].norm_area, 1.0); // normalized to the exact design
+///
+/// let front = pareto_front(&curve);
+/// assert!(!front.is_empty() && front.len() <= curve.len());
+/// // The front is sorted by error with strictly shrinking area.
+/// assert!(front.windows(2).all(|w| w[0].error <= w[1].error));
+/// assert!(front.windows(2).all(|w| w[0].area_um2 > w[1].area_um2));
+/// ```
+///
 /// # Panics
 ///
 /// Panics if the trajectory is empty.

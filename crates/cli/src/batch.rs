@@ -1,0 +1,123 @@
+//! `blasys batch` — run a corpus of BLIF circuits across the
+//! `blasys-par` pool and print an aggregate summary table.
+
+use std::path::PathBuf;
+
+use blasys_bench::print_table;
+use blasys_core::report::metric_name;
+use blasys_par::{par_run, Parallelism};
+
+use crate::opts::{parse_blif_file, require, set_positional, CliError, FlowOpts};
+
+pub fn main(args: &[String]) -> Result<(), CliError> {
+    let mut dir: Option<String> = None;
+    let mut opts = FlowOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(n) = opts.take(args, i)? {
+            i += n;
+            continue;
+        }
+        let a = args[i].as_str();
+        set_positional(&mut dir, a)?;
+        i += 1;
+    }
+    let dir = require(dir, "benchmark directory")?;
+
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| CliError::runtime(format!("cannot read directory {dir}: {e}")))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension()
+                .is_some_and(|x| x.eq_ignore_ascii_case("blif"))
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(CliError::runtime(format!("no .blif files in {dir}")));
+    }
+
+    // Circuits are the parallel axis here, so each individual flow must
+    // stay serial (the pool rejects nested parallel scopes). Unlike the
+    // single-circuit commands, batch defaults to one worker per
+    // hardware thread.
+    let pool = opts
+        .parallelism
+        .unwrap_or_else(|| match std::env::var("BLASYS_THREADS") {
+            Ok(s) => Parallelism::parse(&s),
+            Err(_) => Parallelism::Auto,
+        });
+    eprintln!(
+        "{} circuits on {} worker(s), metric {}, threshold {}",
+        files.len(),
+        pool.worker_count(),
+        metric_name(opts.metric),
+        opts.threshold
+    );
+
+    let results: Vec<Result<Vec<String>, String>> = par_run(pool, files.len(), |fi| {
+        let path = &files[fi];
+        let shown = path.file_name().unwrap_or_default().to_string_lossy();
+        let run = || -> Result<Vec<String>, CliError> {
+            let nl = parse_blif_file(&path.to_string_lossy())?;
+            let result = opts
+                .flow_with(Parallelism::Serial)
+                .try_run(&nl)
+                .map_err(|e| CliError::runtime(e.to_string()))?;
+            let step = result
+                .best_step_under(opts.metric, opts.threshold)
+                .unwrap_or(0);
+            let point = &result.trajectory()[step];
+            let metrics = result.metrics_step(step);
+            let savings = metrics.savings_vs(&result.baseline_metrics());
+            Ok(vec![
+                shown.to_string(),
+                format!("{}/{}", nl.num_inputs(), nl.num_outputs()),
+                result.partition().len().to_string(),
+                format!("{}/{}", step, result.trajectory().len() - 1),
+                format!("{:.5}", point.qor.value(opts.metric)),
+                format!("{:.1}", metrics.area_um2),
+                format!("{:+.1}%", savings.area_pct),
+            ])
+        };
+        run().map_err(|e| {
+            let msg = match e {
+                CliError::Usage(m) | CliError::Runtime(m) => m,
+            };
+            format!("{shown}: {msg}")
+        })
+    });
+
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for r in results {
+        match r {
+            Ok(row) => rows.push(row),
+            Err(msg) => failures.push(msg),
+        }
+    }
+    print_table(
+        &[
+            "circuit",
+            "i/o",
+            "clusters",
+            "step",
+            "error",
+            "area_um2",
+            "area_saved",
+        ],
+        &rows,
+    );
+    for f in &failures {
+        eprintln!("failed: {f}");
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::runtime(format!(
+            "{} of {} circuits failed",
+            failures.len(),
+            files.len()
+        )))
+    }
+}

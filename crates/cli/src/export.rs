@@ -1,0 +1,48 @@
+//! `blasys export-benchmarks` — write the shipped benchmark corpus.
+//!
+//! The `benchmarks/` directory checked into the repository is exactly
+//! the output of this command, so `blasys batch benchmarks/` works out
+//! of the box and the corpus can always be regenerated from the
+//! `blasys-circuits` generators.
+
+use blasys_circuits::{adder, butterfly, multiplier};
+use blasys_logic::blif::to_blif;
+use blasys_logic::Netlist;
+
+use crate::opts::{set_positional, CliError};
+
+/// The shipped corpus: small instances of the paper's generator
+/// families, kept tiny so `batch` and the CI smoke step finish fast.
+pub fn corpus() -> Vec<(&'static str, Netlist)> {
+    vec![
+        ("adder4", adder(4)),
+        ("adder8", adder(8)),
+        ("mult3", multiplier(3)),
+        ("mult4", multiplier(4)),
+        ("butterfly4", butterfly(4)),
+    ]
+}
+
+pub fn main(args: &[String]) -> Result<(), CliError> {
+    let mut dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        set_positional(&mut dir, args[i].as_str())?;
+        i += 1;
+    }
+    let dir = dir.unwrap_or_else(|| "benchmarks".to_string());
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| CliError::runtime(format!("cannot create {dir}: {e}")))?;
+    for (name, nl) in corpus() {
+        let path = format!("{dir}/{name}.blif");
+        std::fs::write(&path, to_blif(&nl))
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+        println!(
+            "{path}: {} inputs, {} outputs, {} gates",
+            nl.num_inputs(),
+            nl.num_outputs(),
+            nl.gate_count()
+        );
+    }
+    Ok(())
+}

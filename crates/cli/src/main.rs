@@ -1,0 +1,104 @@
+//! `blasys` — the end-to-end command-line driver of the BLASYS
+//! reproduction: BLIF in, approximated BLIF / structural Verilog and a
+//! JSON QoR report out.
+//!
+//! Subcommands:
+//!
+//! * [`run`] — the full decompose → profile → explore → synthesize
+//!   flow on one circuit, with BLIF / Verilog netlist output and a
+//!   JSON report;
+//! * [`certify`] — `run` plus a SAT-certified exact worst-case error
+//!   bound (with witness) for the chosen design;
+//! * [`profile`] — per-window BMF profile dump (every factorization
+//!   degree of every cluster);
+//! * [`sweep`] — Pareto sweep across an error-threshold ladder,
+//!   CSV or JSON out;
+//! * [`batch`] — run a whole directory of BLIF circuits across the
+//!   `blasys-par` thread pool with an aggregate summary table;
+//! * [`export`] (`export-benchmarks`) — regenerate the shipped
+//!   `benchmarks/` corpus from the `blasys-circuits` generators.
+//!
+//! Exit codes: `0` success, `1` runtime failure (unreadable or
+//! malformed input, flow error), `2` usage error.
+
+use std::process::ExitCode;
+
+mod batch;
+mod certify;
+mod export;
+mod opts;
+mod profile;
+mod run;
+mod sweep;
+
+use opts::CliError;
+
+const USAGE: &str = "blasys — approximate logic synthesis via Boolean matrix factorization
+
+USAGE:
+    blasys <COMMAND> [ARGS]
+
+COMMANDS:
+    run <FILE.blif>       Approximate one circuit; emit netlists + JSON report
+    certify <FILE.blif>   run + SAT-certified exact worst-case error bound
+    profile <FILE.blif>   Dump the per-window BMF factorization profile
+    sweep <FILE.blif>     Pareto sweep over an error-threshold ladder
+    batch <DIR>           Run every .blif in DIR on the thread pool
+    export-benchmarks [DIR]  Write the built-in benchmark corpus (default: benchmarks)
+    help                  Show this message
+
+FLOW OPTIONS (run / certify / profile / sweep / batch):
+    --error-threshold <T>   Stop threshold for the driving metric [default: 0.05]
+    --metric <M>            avg-relative | avg-absolute | bit-error-rate [default: avg-relative]
+    --samples <N>           Monte-Carlo samples [default: 10000]
+    --seed <S>              Stimulus RNG seed [default: 2980385332]
+    --limits <KxM>          Decomposition window limits [default: 10x10]
+    --threads <N>           Worker threads: N, 0 or `auto` (batch defaults to auto,
+                            everything else to $BLASYS_THREADS or serial)
+
+OUTPUT OPTIONS:
+    run:      --blif <PATH>  --verilog <PATH>  --report <PATH|-> [default: -]
+    certify:  --report <PATH|-> [default: -]
+    profile:  --json  --out <PATH|-> [default: -]
+    sweep:    --thresholds <T1,T2,..> [default: 0.01,0.02,0.05,0.1,0.25]
+              --format <csv|json> [default: csv]  --out <PATH|-> [default: -]
+
+EXAMPLES:
+    blasys run benchmarks/adder8.blif --error-threshold 0.05 \\
+        --verilog approx.v --report report.json
+    blasys certify benchmarks/mult3.blif --error-threshold 0.1
+    blasys sweep benchmarks/mult4.blif --format csv
+    blasys batch benchmarks/ --threads auto";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "run" => run::main(rest),
+        "certify" => certify::main(rest),
+        "profile" => profile::main(rest),
+        "sweep" => sweep::main(rest),
+        "batch" => batch::main(rest),
+        "export-benchmarks" => export::main(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::usage(format!("unknown command `{other}`"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}

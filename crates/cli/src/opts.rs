@@ -1,0 +1,200 @@
+//! Shared argument parsing: errors, the common flow options, and small
+//! I/O helpers used by every subcommand.
+
+use blasys_core::report::parse_metric;
+use blasys_core::{Blasys, Parallelism, QorMetric};
+use blasys_logic::blif::from_blif;
+use blasys_logic::Netlist;
+
+/// A subcommand failure, mapped onto the process exit code.
+pub enum CliError {
+    /// Bad invocation (unknown flag, missing argument) — exit 2.
+    Usage(String),
+    /// Runtime failure (I/O, parse, flow) — exit 1.
+    Runtime(String),
+}
+
+impl CliError {
+    /// Construct a usage error.
+    pub fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+
+    /// Construct a runtime error.
+    pub fn runtime(msg: impl Into<String>) -> CliError {
+        CliError::Runtime(msg.into())
+    }
+}
+
+/// The flow options shared by `run`, `certify`, `profile`, `sweep` and
+/// `batch`.
+pub struct FlowOpts {
+    /// Monte-Carlo sample count (`--samples`).
+    pub samples: usize,
+    /// Stimulus RNG seed (`--seed`).
+    pub seed: u64,
+    /// Stop threshold for the driving metric (`--error-threshold`).
+    pub threshold: f64,
+    /// The driving metric (`--metric`).
+    pub metric: QorMetric,
+    /// Worker threads (`--threads`); `None` = flag not given.
+    pub parallelism: Option<Parallelism>,
+    /// Decomposition window limits k×m (`--limits`).
+    pub limits: (usize, usize),
+}
+
+impl Default for FlowOpts {
+    fn default() -> FlowOpts {
+        FlowOpts {
+            samples: 10_000,
+            seed: 0xB1A5_1234,
+            threshold: 0.05,
+            metric: QorMetric::AvgRelative,
+            parallelism: None,
+            limits: (10, 10),
+        }
+    }
+}
+
+impl FlowOpts {
+    /// Try to consume the flag at `args[i]`. Returns the number of
+    /// arguments consumed (`None` when the flag is not a flow option).
+    pub fn take(&mut self, args: &[String], i: usize) -> Result<Option<usize>, CliError> {
+        let flag = args[i].as_str();
+        let parsed = match flag {
+            "--samples" => {
+                self.samples = parse_value(args, i, "sample count")?;
+                true
+            }
+            "--seed" => {
+                self.seed = parse_value(args, i, "seed")?;
+                true
+            }
+            "--error-threshold" => {
+                self.threshold = parse_value(args, i, "error threshold")?;
+                true
+            }
+            "--metric" => {
+                let v = value(args, i)?;
+                self.metric = parse_metric(v).ok_or_else(|| {
+                    CliError::usage(format!(
+                        "unknown metric `{v}` (expected avg-relative, avg-absolute or bit-error-rate)"
+                    ))
+                })?;
+                true
+            }
+            "--threads" => {
+                // Parallelism::parse maps garbage to Serial — fine for
+                // the env var, but an explicit flag must reject typos.
+                let v = value(args, i)?;
+                if !v.eq_ignore_ascii_case("auto") && v.trim().parse::<usize>().is_err() {
+                    return Err(CliError::usage(format!(
+                        "invalid --threads `{v}` (expected a number, 0 or `auto`)"
+                    )));
+                }
+                self.parallelism = Some(Parallelism::parse(v));
+                true
+            }
+            "--limits" => {
+                let v = value(args, i)?;
+                let (k, m) = v
+                    .split_once(['x', 'X'])
+                    .and_then(|(k, m)| Some((k.parse().ok()?, m.parse().ok()?)))
+                    .filter(|&(k, m): &(usize, usize)| {
+                        (1..=16).contains(&k) && (1..=16).contains(&m)
+                    })
+                    .ok_or_else(|| {
+                        CliError::usage(format!("invalid --limits `{v}` (expected KxM, 1..=16)"))
+                    })?;
+                self.limits = (k, m);
+                true
+            }
+            _ => false,
+        };
+        Ok(parsed.then_some(2))
+    }
+
+    /// The effective worker setting: the `--threads` flag, else the
+    /// `BLASYS_THREADS` environment variable, else serial.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism.unwrap_or_else(Parallelism::from_env)
+    }
+
+    /// A [`Blasys`] builder configured from these options (threshold
+    /// stop — the normal `run` / `certify` mode).
+    pub fn flow(&self) -> Blasys {
+        self.flow_with(self.parallelism())
+    }
+
+    /// Like [`FlowOpts::flow`] but walking the full trajectory
+    /// (`sweep` mode).
+    pub fn flow_exhaust(&self) -> Blasys {
+        self.flow_with(self.parallelism()).exhaust()
+    }
+
+    /// The builder with an explicit parallelism override (used by
+    /// `batch`, whose workers must run each flow serially).
+    pub fn flow_with(&self, parallelism: Parallelism) -> Blasys {
+        Blasys::new()
+            .samples(self.samples)
+            .seed(self.seed)
+            .metric(self.metric)
+            .limits(self.limits.0, self.limits.1)
+            .parallelism(parallelism)
+            .threshold(self.threshold)
+    }
+}
+
+/// The value of the flag at `args[i]`.
+pub fn value(args: &[String], i: usize) -> Result<&str, CliError> {
+    args.get(i + 1)
+        .map(String::as_str)
+        .ok_or_else(|| CliError::usage(format!("{} requires a value", args[i])))
+}
+
+/// The value of the flag at `args[i]`, parsed.
+pub fn parse_value<T: std::str::FromStr>(
+    args: &[String],
+    i: usize,
+    what: &str,
+) -> Result<T, CliError> {
+    let v = value(args, i)?;
+    v.parse()
+        .map_err(|_| CliError::usage(format!("invalid {what} `{v}`")))
+}
+
+/// Read and parse one BLIF file.
+pub fn parse_blif_file(path: &str) -> Result<Netlist, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+    from_blif(&text).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+}
+
+/// Write `content` to `path`, where `-` means stdout.
+pub fn write_output(path: &str, content: &str) -> Result<(), CliError> {
+    if path == "-" {
+        print!("{content}");
+        Ok(())
+    } else {
+        std::fs::write(path, content)
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))
+    }
+}
+
+/// Accept exactly one positional argument (the input path).
+pub fn set_positional(slot: &mut Option<String>, arg: &str) -> Result<(), CliError> {
+    if arg.starts_with('-') && arg != "-" {
+        return Err(CliError::usage(format!("unknown flag `{arg}`")));
+    }
+    if slot.replace(arg.to_string()).is_some() {
+        return Err(CliError::usage(format!(
+            "unexpected extra argument `{arg}`"
+        )));
+    }
+    Ok(())
+}
+
+/// The positional argument, or a usage error naming what is missing.
+pub fn require(slot: Option<String>, what: &str) -> Result<String, CliError> {
+    slot.ok_or_else(|| CliError::usage(format!("missing {what}")))
+}

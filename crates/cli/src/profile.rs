@@ -1,0 +1,120 @@
+//! `blasys profile` — dump the per-window BMF factorization profile.
+
+use blasys_core::profile::{profile_partition, ProfileConfig};
+use blasys_core::Json;
+use blasys_decomp::{decompose, DecompConfig};
+
+use crate::opts::{
+    parse_blif_file, require, set_positional, value, write_output, CliError, FlowOpts,
+};
+
+pub fn main(args: &[String]) -> Result<(), CliError> {
+    let mut file: Option<String> = None;
+    let mut opts = FlowOpts::default();
+    let mut json = false;
+    let mut out = String::from("-");
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(n) = opts.take(args, i)? {
+            i += n;
+            continue;
+        }
+        match args[i].as_str() {
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--out" => {
+                out = value(args, i)?.to_string();
+                i += 2;
+            }
+            a => {
+                set_positional(&mut file, a)?;
+                i += 1;
+            }
+        }
+    }
+    let file = require(file, "input BLIF file")?;
+
+    let nl = parse_blif_file(&file)?;
+    let partition = decompose(
+        &nl,
+        &DecompConfig {
+            max_inputs: opts.limits.0,
+            max_outputs: opts.limits.1,
+            ..DecompConfig::default()
+        },
+    );
+    if partition.is_empty() {
+        return Err(CliError::runtime(format!(
+            "{file}: netlist contains no gates to profile"
+        )));
+    }
+    let profiles = profile_partition(
+        &nl,
+        &partition,
+        &ProfileConfig {
+            parallelism: opts.parallelism(),
+            ..ProfileConfig::default()
+        },
+    );
+
+    if json {
+        let clusters: Vec<Json> = profiles
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("cluster", Json::UInt(p.cluster as u64)),
+                    ("inputs", Json::UInt(p.num_inputs as u64)),
+                    ("outputs", Json::UInt(p.num_outputs as u64)),
+                    (
+                        "variants",
+                        Json::Arr(
+                            p.variants
+                                .iter()
+                                .map(|v| {
+                                    Json::obj([
+                                        ("degree", Json::UInt(v.degree as u64)),
+                                        ("area_um2", Json::Num(v.area_um2)),
+                                        ("local_hamming", Json::UInt(v.local_hamming as u64)),
+                                        ("gates", Json::UInt(v.netlist.gate_count() as u64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Json::obj([
+            ("circuit", Json::str(nl.name())),
+            ("clusters", Json::Arr(clusters)),
+        ]);
+        write_output(&out, &doc.pretty())
+    } else {
+        let mut rows = Vec::new();
+        for p in &profiles {
+            for v in &p.variants {
+                rows.push(vec![
+                    p.cluster.to_string(),
+                    format!("{}x{}", p.num_inputs, p.num_outputs),
+                    v.degree.to_string(),
+                    format!("{:.2}", v.area_um2),
+                    v.local_hamming.to_string(),
+                    v.netlist.gate_count().to_string(),
+                ]);
+            }
+        }
+        let mut text = format!(
+            "{}: {} clusters ({} gates)\n",
+            nl.name(),
+            partition.len(),
+            nl.gate_count()
+        );
+        text.push_str(&blasys_bench::format_table(
+            &["cluster", "kxm", "f", "area_um2", "hamming", "gates"],
+            &rows,
+        ));
+        write_output(&out, &text)
+    }
+}

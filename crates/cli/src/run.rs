@@ -1,0 +1,83 @@
+//! `blasys run` — the full flow on one BLIF circuit.
+
+use blasys_core::report::FlowReport;
+use blasys_logic::blif::to_blif;
+use blasys_logic::verilog::to_verilog;
+
+use crate::opts::{
+    parse_blif_file, require, set_positional, value, write_output, CliError, FlowOpts,
+};
+
+pub fn main(args: &[String]) -> Result<(), CliError> {
+    let mut file: Option<String> = None;
+    let mut opts = FlowOpts::default();
+    let mut blif_out: Option<String> = None;
+    let mut verilog_out: Option<String> = None;
+    let mut report_out = String::from("-");
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(n) = opts.take(args, i)? {
+            i += n;
+            continue;
+        }
+        match args[i].as_str() {
+            "--blif" => {
+                blif_out = Some(value(args, i)?.to_string());
+                i += 2;
+            }
+            "--verilog" => {
+                verilog_out = Some(value(args, i)?.to_string());
+                i += 2;
+            }
+            "--report" => {
+                report_out = value(args, i)?.to_string();
+                i += 2;
+            }
+            a => {
+                set_positional(&mut file, a)?;
+                i += 1;
+            }
+        }
+    }
+    let file = require(file, "input BLIF file")?;
+
+    let nl = parse_blif_file(&file)?;
+    eprintln!(
+        "{}: {} inputs, {} outputs, {} gates",
+        nl.name(),
+        nl.num_inputs(),
+        nl.num_outputs(),
+        nl.gate_count()
+    );
+
+    let result = opts
+        .flow()
+        .try_run(&nl)
+        .map_err(|e| CliError::runtime(format!("{file}: {e}")))?;
+    let step = result
+        .best_step_under(opts.metric, opts.threshold)
+        .unwrap_or(0);
+    let synthesized = result.synthesize_step(step);
+
+    if let Some(path) = &blif_out {
+        write_output(path, &to_blif(&synthesized))?;
+        eprintln!("wrote approximated BLIF to {path}");
+    }
+    if let Some(path) = &verilog_out {
+        write_output(path, &to_verilog(&synthesized))?;
+        eprintln!("wrote structural Verilog to {path}");
+    }
+
+    let report = FlowReport::from_result_with_netlist(&result, step, &synthesized);
+    let savings = report.chosen.savings_vs(&report.baseline);
+    eprintln!(
+        "step {} of {}: error {:.5}, area {:.1} -> {:.1} um^2 ({:+.1}% saved)",
+        step,
+        result.trajectory().len() - 1,
+        report.qor.value(opts.metric),
+        report.baseline.area_um2,
+        report.chosen.area_um2,
+        savings.area_pct,
+    );
+    write_output(&report_out, &report.to_json().pretty())
+}

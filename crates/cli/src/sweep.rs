@@ -1,0 +1,150 @@
+//! `blasys sweep` — Pareto sweep over an error-threshold ladder.
+
+use blasys_core::pareto::{pareto_front, tradeoff_curve};
+use blasys_core::report::metric_name;
+use blasys_core::Json;
+
+use crate::opts::{
+    parse_blif_file, require, set_positional, value, write_output, CliError, FlowOpts,
+};
+
+const DEFAULT_LADDER: &[f64] = &[0.01, 0.02, 0.05, 0.10, 0.25];
+
+pub fn main(args: &[String]) -> Result<(), CliError> {
+    let mut file: Option<String> = None;
+    let mut opts = FlowOpts::default();
+    let mut thresholds: Vec<f64> = DEFAULT_LADDER.to_vec();
+    let mut format = String::from("csv");
+    let mut out = String::from("-");
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(n) = opts.take(args, i)? {
+            i += n;
+            continue;
+        }
+        match args[i].as_str() {
+            "--thresholds" => {
+                let v = value(args, i)?;
+                thresholds = v
+                    .split(',')
+                    .map(|t| t.trim().parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| CliError::usage(format!("invalid --thresholds `{v}`")))?;
+                if thresholds.is_empty() {
+                    return Err(CliError::usage("--thresholds must list at least one value"));
+                }
+                i += 2;
+            }
+            "--format" => {
+                format = value(args, i)?.to_ascii_lowercase();
+                if format != "csv" && format != "json" {
+                    return Err(CliError::usage(format!(
+                        "unknown --format `{format}` (expected csv or json)"
+                    )));
+                }
+                i += 2;
+            }
+            "--out" => {
+                out = value(args, i)?.to_string();
+                i += 2;
+            }
+            a => {
+                set_positional(&mut file, a)?;
+                i += 1;
+            }
+        }
+    }
+    let file = require(file, "input BLIF file")?;
+
+    let nl = parse_blif_file(&file)?;
+    // One exhaustive walk serves every threshold on the ladder.
+    let result = opts
+        .flow_exhaust()
+        .try_run(&nl)
+        .map_err(|e| CliError::runtime(format!("{file}: {e}")))?;
+    let baseline = result.baseline_metrics();
+
+    struct Row {
+        threshold: f64,
+        step: usize,
+        error: f64,
+        model_area: f64,
+        area_um2: f64,
+        area_saved_pct: f64,
+    }
+    let mut rows = Vec::new();
+    for &t in &thresholds {
+        let Some(step) = result.best_step_under(opts.metric, t) else {
+            continue;
+        };
+        let point = &result.trajectory()[step];
+        let metrics = result.metrics_step(step);
+        rows.push(Row {
+            threshold: t,
+            step,
+            error: point.qor.value(opts.metric),
+            model_area: point.model_area_um2,
+            area_um2: metrics.area_um2,
+            area_saved_pct: metrics.savings_vs(&baseline).area_pct,
+        });
+    }
+    eprintln!(
+        "{}: {} trajectory points, {} ladder rungs reachable",
+        nl.name(),
+        result.trajectory().len(),
+        rows.len()
+    );
+
+    if format == "csv" {
+        let mut text =
+            String::from("threshold,step,error,model_area_um2,area_um2,area_saved_pct\n");
+        for r in &rows {
+            text.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                r.threshold, r.step, r.error, r.model_area, r.area_um2, r.area_saved_pct
+            ));
+        }
+        write_output(&out, &text)
+    } else {
+        let curve = tradeoff_curve(result.trajectory(), opts.metric);
+        let front = pareto_front(&curve);
+        let doc = Json::obj([
+            ("circuit", Json::str(nl.name())),
+            ("metric", Json::str(metric_name(opts.metric))),
+            (
+                "ladder",
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("threshold", Json::Num(r.threshold)),
+                                ("step", Json::UInt(r.step as u64)),
+                                ("error", Json::Num(r.error)),
+                                ("model_area_um2", Json::Num(r.model_area)),
+                                ("area_um2", Json::Num(r.area_um2)),
+                                ("area_saved_pct", Json::Num(r.area_saved_pct)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "pareto_front",
+                Json::Arr(
+                    front
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("step", Json::UInt(p.step as u64)),
+                                ("error", Json::Num(p.error)),
+                                ("model_area_um2", Json::Num(p.area_um2)),
+                                ("norm_area", Json::Num(p.norm_area)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        write_output(&out, &doc.pretty())
+    }
+}

@@ -1,0 +1,237 @@
+//! End-to-end tests of the `blasys` binary, spawned as a real process
+//! against the shipped `benchmarks/` corpus.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn benchmarks_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../benchmarks")
+}
+
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("blasys-cli-{}-{test}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn blasys(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_blasys"))
+        .args(args)
+        .output()
+        .expect("spawn blasys")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Fast flow settings shared by the tests (the binary under test is a
+/// debug build).
+const FAST: &[&str] = &["--samples", "512", "--seed", "7"];
+
+#[test]
+fn run_emits_netlists_and_report() {
+    let dir = scratch("run");
+    let blif_out = dir.join("out.blif");
+    let v_out = dir.join("out.v");
+    let report = dir.join("report.json");
+    let bench = benchmarks_dir().join("adder4.blif");
+    let out = blasys(
+        &[
+            &["run", bench.to_str().unwrap()],
+            FAST,
+            &["--error-threshold", "0.05"],
+            &["--blif", blif_out.to_str().unwrap()],
+            &["--verilog", v_out.to_str().unwrap()],
+            &["--report", report.to_str().unwrap()],
+        ]
+        .concat(),
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    // The emitted BLIF must re-parse with the same interface.
+    let text = std::fs::read_to_string(&blif_out).expect("read emitted BLIF");
+    let back = blasys_logic::blif::from_blif(&text).expect("emitted BLIF re-parses");
+    assert_eq!(back.num_inputs(), 8);
+    assert_eq!(back.num_outputs(), 5);
+
+    // The Verilog must look like one well-formed structural module.
+    let v = std::fs::read_to_string(&v_out).expect("read emitted Verilog");
+    assert!(v.starts_with("module "));
+    assert!(v.trim_end().ends_with("endmodule"));
+    assert_eq!(v.matches("module ").count(), 1, "exactly one module header");
+    assert_eq!(v.matches("endmodule").count(), 1);
+    assert!(v.contains("input a0;"));
+    assert!(v.contains("assign "));
+
+    // The JSON report carries the achieved error and the savings.
+    let r = std::fs::read_to_string(&report).expect("read report");
+    for key in [
+        "\"circuit\"",
+        "\"avg_relative\"",
+        "\"worst_absolute\"",
+        "\"savings\"",
+        "\"area_pct\"",
+        "\"clusters\"",
+    ] {
+        assert!(r.contains(key), "report missing {key}: {r}");
+    }
+}
+
+#[test]
+fn run_report_defaults_to_stdout() {
+    let bench = benchmarks_dir().join("mult3.blif");
+    let out = blasys(&[&["run", bench.to_str().unwrap()], FAST].concat());
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let s = stdout(&out);
+    assert!(
+        s.trim_start().starts_with('{'),
+        "stdout must be the JSON report: {s}"
+    );
+    assert!(s.contains("\"qor\""));
+}
+
+#[test]
+fn certify_reports_a_consistent_bound() {
+    let bench = benchmarks_dir().join("mult3.blif");
+    let out = blasys(
+        &[
+            &["certify", bench.to_str().unwrap()],
+            FAST,
+            &["--error-threshold", "0.2"],
+        ]
+        .concat(),
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("\"certified_worst_absolute\""));
+    assert!(s.contains("\"consistent\": true"), "{s}");
+    assert!(s.contains("\"probes\""));
+}
+
+#[test]
+fn sweep_writes_csv_rows() {
+    let bench = benchmarks_dir().join("mult4.blif");
+    let out = blasys(
+        &[
+            &["sweep", bench.to_str().unwrap()],
+            FAST,
+            &["--thresholds", "0.05,0.25"],
+        ]
+        .concat(),
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let s = stdout(&out);
+    let mut lines = s.lines();
+    assert_eq!(
+        lines.next(),
+        Some("threshold,step,error,model_area_um2,area_um2,area_saved_pct")
+    );
+    let rows: Vec<&str> = lines.collect();
+    assert!(!rows.is_empty(), "no ladder rows: {s}");
+    for row in rows {
+        assert_eq!(row.split(',').count(), 6, "bad CSV row {row}");
+    }
+}
+
+#[test]
+fn sweep_json_has_pareto_front() {
+    let bench = benchmarks_dir().join("mult3.blif");
+    let out = blasys(
+        &[
+            &["sweep", bench.to_str().unwrap()],
+            FAST,
+            &["--format", "json"],
+        ]
+        .concat(),
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("\"pareto_front\""));
+    assert!(s.contains("\"ladder\""));
+}
+
+#[test]
+fn batch_summarizes_the_corpus_in_parallel() {
+    let dir = benchmarks_dir();
+    let out = blasys(&[&["batch", dir.to_str().unwrap()], FAST, &["--threads", "2"]].concat());
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let table = stdout(&out);
+    for name in ["adder4", "adder8", "mult3", "mult4", "butterfly4"] {
+        assert!(table.contains(name), "summary missing {name}: {table}");
+    }
+    assert!(stderr(&out).contains("2 worker"), "{}", stderr(&out));
+}
+
+#[test]
+fn profile_lists_every_degree() {
+    let bench = benchmarks_dir().join("adder4.blif");
+    let out = blasys(&["profile", bench.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("cluster"));
+    assert!(s.contains("hamming"));
+    assert!(
+        s.lines().count() > 3,
+        "expected at least one degree ladder: {s}"
+    );
+}
+
+#[test]
+fn malformed_blif_exits_1() {
+    let dir = scratch("malformed");
+    let bad = dir.join("bad.blif");
+    std::fs::write(&bad, ".model m\n.inputs a\n.outputs f\n.latch a f\n.end\n").unwrap();
+    let out = blasys(&["run", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("error"), "{}", stderr(&out));
+    assert!(stdout(&out).is_empty(), "no report on failure");
+}
+
+#[test]
+fn missing_file_exits_1() {
+    let out = blasys(&["certify", "/nonexistent/x.blif"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    for args in [
+        vec!["run"],                                 // missing file
+        vec!["run", "x.blif", "--bogus"],            // unknown flag
+        vec!["run", "x.blif", "--metric", "nope"],   // bad metric
+        vec!["run", "x.blif", "--threads", "many"],  // bad thread count
+        vec!["sweep", "x.blif", "--format", "yaml"], // bad format
+        vec!["frobnicate"],                          // unknown command
+    ] {
+        let out = blasys(&args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+}
+
+#[test]
+fn export_benchmarks_round_trips_through_batch() {
+    let dir = scratch("export");
+    let out = blasys(&["export-benchmarks", dir.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let names: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(names.len(), 5, "{names:?}");
+    // Exported corpus matches the shipped one byte for byte.
+    for name in names {
+        let exported = std::fs::read_to_string(dir.join(&name)).unwrap();
+        let shipped = std::fs::read_to_string(benchmarks_dir().join(&name))
+            .unwrap_or_else(|_| panic!("shipped benchmarks/{name} missing"));
+        assert_eq!(
+            exported, shipped,
+            "benchmarks/{name} out of date; rerun export-benchmarks"
+        );
+    }
+}

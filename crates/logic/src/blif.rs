@@ -5,7 +5,7 @@
 //! (with multi-cube single-output covers) and `.end`. Continuation lines
 //! (`\`) and `#` comments are handled. Latches and subckts are not.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::error::LogicError;
 use crate::gate::GateKind;
@@ -14,28 +14,95 @@ use crate::netlist::{Netlist, NodeId};
 /// Serialize a netlist as BLIF.
 ///
 /// Every gate becomes a `.names` block with the gate's canonical
-/// two-level cover. Internal signals are named `n<i>`; primary inputs
-/// and outputs keep their registered names.
+/// two-level cover. Internal signals are named `n<i>` (renamed when a
+/// port squats on that name); primary inputs and outputs keep their
+/// registered names.
+///
+/// # Examples
+///
+/// The writer round-trips through [`from_blif`]:
+///
+/// ```
+/// use blasys_logic::blif::{from_blif, to_blif};
+/// use blasys_logic::equiv::{check_equiv, EquivConfig};
+/// use blasys_logic::Netlist;
+///
+/// let mut nl = Netlist::new("maj");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let c = nl.add_input("c");
+/// let ab = nl.and(a, b);
+/// let bc = nl.and(b, c);
+/// let ac = nl.and(a, c);
+/// let t = nl.or(ab, bc);
+/// let m = nl.or(t, ac);
+/// nl.mark_output("m", m);
+///
+/// let back = from_blif(&to_blif(&nl)).unwrap();
+/// assert!(check_equiv(&nl, &back, &EquivConfig::default()).is_equal());
+/// ```
 pub fn to_blif(nl: &Netlist) -> String {
+    // Every BLIF signal must be defined exactly once, so all emitted
+    // names are claimed through one collision-free allocator: sanitized
+    // input names first, then output names, then `n<i>` internal
+    // signals. A name that is already taken (two ports sanitizing the
+    // same way, an output shadowing an input, a port squatting on an
+    // internal `n<i>`) gets a deterministic `_<k>` suffix.
+    let mut used: HashSet<String> = HashSet::new();
+    let claim = |used: &mut HashSet<String>, base: String| -> String {
+        let mut candidate = base.clone();
+        let mut suffix = 1usize;
+        while !used.insert(candidate.clone()) {
+            candidate = format!("{base}_{suffix}");
+            suffix += 1;
+        }
+        candidate
+    };
+    let in_names: Vec<String> = (0..nl.num_inputs())
+        .map(|i| claim(&mut used, sanitize(nl.input_name(i))))
+        .collect();
+    // An output keeps the name of the input that drives it (the one
+    // case where sharing a name with an input is exactly right and
+    // needs no alias block); any other collision is renamed.
+    let pi_slot: HashMap<usize, usize> = nl
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(idx, pi)| (pi.index(), idx))
+        .collect();
+    let out_names: Vec<String> = nl
+        .outputs()
+        .iter()
+        .map(|o| {
+            let desired = sanitize(o.name());
+            match pi_slot.get(&o.node().index()) {
+                Some(&idx) if in_names[idx] == desired => desired,
+                _ => claim(&mut used, desired),
+            }
+        })
+        .collect();
+
     let mut out = String::new();
     out.push_str(&format!(".model {}\n", sanitize(nl.name())));
     out.push_str(".inputs");
-    for i in 0..nl.num_inputs() {
+    for n in &in_names {
         out.push(' ');
-        out.push_str(&sanitize(nl.input_name(i)));
+        out.push_str(n);
     }
     out.push('\n');
     out.push_str(".outputs");
-    for o in nl.outputs() {
+    for n in &out_names {
         out.push(' ');
-        out.push_str(&sanitize(o.name()));
+        out.push_str(n);
     }
     out.push('\n');
 
-    // Signal name per node: PI names where available, else n<i>.
-    let mut names: Vec<String> = (0..nl.len()).map(|i| format!("n{i}")).collect();
+    let mut names: Vec<String> = Vec::with_capacity(nl.len());
+    for i in 0..nl.len() {
+        names.push(claim(&mut used, format!("n{i}")));
+    }
     for (idx, &pi) in nl.inputs().iter().enumerate() {
-        names[pi.index()] = sanitize(nl.input_name(idx));
+        names[pi.index()] = in_names[idx].clone();
     }
 
     for (id, node) in nl.iter() {
@@ -67,10 +134,9 @@ pub fn to_blif(nl: &Netlist) -> String {
         }
     }
     // Output aliases.
-    for o in nl.outputs() {
+    for (o, dst) in nl.outputs().iter().zip(&out_names) {
         let src = &names[o.node().index()];
-        let dst = sanitize(o.name());
-        if *src != dst {
+        if src != dst {
             out.push_str(&format!(".names {src} {dst}\n1 1\n"));
         }
     }
@@ -79,8 +145,20 @@ pub fn to_blif(nl: &Netlist) -> String {
 }
 
 fn sanitize(name: &str) -> String {
+    // Whitespace would split the token, '#' starts a comment and a
+    // trailing '\' is a line continuation — none may survive in a name.
+    // An empty name would vanish from the token stream entirely.
+    if name.is_empty() {
+        return String::from("sig");
+    }
     name.chars()
-        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .map(|c| {
+            if c.is_whitespace() || c == '#' || c == '\\' {
+                '_'
+            } else {
+                c
+            }
+        })
         .collect()
 }
 
@@ -209,6 +287,19 @@ pub fn from_blif(text: &str) -> Result<Netlist, LogicError> {
 
     if input_names.is_empty() && blocks.is_empty() {
         return Err(err(1, "empty model"));
+    }
+
+    // Every signal must be defined exactly once: redefining an input or
+    // a previous .names target silently rewires whichever block happens
+    // to resolve last, so reject it up front.
+    {
+        let mut defined: HashSet<&str> = input_names.iter().map(String::as_str).collect();
+        for blk in &blocks {
+            let target = blk.signals.last().unwrap().as_str();
+            if !defined.insert(target) {
+                return Err(err(blk.line, "signal is defined more than once"));
+            }
+        }
     }
 
     let mut nl = Netlist::new(model_name);
@@ -419,5 +510,131 @@ mod tests {
     fn rejects_bad_cover_width() {
         let text = ".model m\n.inputs a b\n.outputs f\n.names a b f\n111 1\n.end\n";
         assert!(from_blif(text).is_err());
+    }
+
+    #[test]
+    fn rejects_redefined_signal() {
+        let text = "\
+.model m
+.inputs a b
+.outputs f
+.names a b f
+11 1
+.names a f
+1 1
+.end
+";
+        assert!(matches!(from_blif(text), Err(LogicError::BlifParse { .. })));
+    }
+
+    #[test]
+    fn rejects_redefined_input() {
+        let text = ".model m\n.inputs a b\n.outputs f\n.names b a\n1 1\n.names a f\n1 1\n.end\n";
+        assert!(matches!(from_blif(text), Err(LogicError::BlifParse { .. })));
+    }
+
+    #[test]
+    fn ports_squatting_on_internal_names_roundtrip() {
+        // An input named like an internal signal ("n3") and an output
+        // named like another ("n5") must not capture the .names blocks
+        // of nodes 3 and 5.
+        let mut nl = Netlist::new("squat");
+        let a = nl.add_input("n3");
+        let b = nl.add_input("b");
+        let g1 = nl.and(a, b); // node index 2
+        let g2 = nl.xor(g1, a); // node index 3 — name clash with input
+        let g3 = nl.nor(g1, b);
+        nl.mark_output("n5", g2);
+        nl.mark_output("y", g3);
+        let text = to_blif(&nl);
+        let back = from_blif(&text).expect("collision-free serialization");
+        assert!(check_equiv(&nl, &back, &EquivConfig::default()).is_equal());
+        assert_eq!(back.input_name(0), "n3");
+        assert_eq!(back.outputs()[0].name(), "n5");
+    }
+
+    #[test]
+    fn constant_outputs_and_shared_drivers_roundtrip() {
+        let mut nl = Netlist::new("consts");
+        let a = nl.add_input("a");
+        let k0 = nl.constant(false);
+        let k1 = nl.constant(true);
+        let g = nl.not(a);
+        nl.mark_output("zero", k0);
+        nl.mark_output("one", k1);
+        nl.mark_output("y0", g); // shared driver ...
+        nl.mark_output("y1", g); // ... two output aliases
+        let back = from_blif(&to_blif(&nl)).expect("parse back");
+        assert_eq!(back.num_outputs(), 4);
+        assert!(check_equiv(&nl, &back, &EquivConfig::default()).is_equal());
+    }
+
+    #[test]
+    fn output_shadowing_an_input_is_renamed_not_redefined() {
+        // Output "a" driven by a gate while an input is also named "a":
+        // BLIF cannot express two signals with one name, so the output
+        // port is renamed — and the result must re-parse.
+        let mut nl = Netlist::new("shadow");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.nand(a, b);
+        nl.mark_output("a", g);
+        let back = from_blif(&to_blif(&nl)).expect("shadowed output must serialize");
+        assert_eq!(back.num_outputs(), 1);
+        assert!(check_equiv(&nl, &back, &EquivConfig::default()).is_equal());
+    }
+
+    #[test]
+    fn output_fed_through_by_its_input_keeps_the_name() {
+        // The legitimate shared-name case: output "a" driven by input
+        // "a" directly needs no alias and no rename.
+        let mut nl = Netlist::new("thru");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.or(a, b);
+        nl.mark_output("a", a);
+        nl.mark_output("y", g);
+        let text = to_blif(&nl);
+        let back = from_blif(&text).expect("feed-through must serialize");
+        assert_eq!(back.outputs()[0].name(), "a");
+        assert!(check_equiv(&nl, &back, &EquivConfig::default()).is_equal());
+    }
+
+    #[test]
+    fn ports_sanitizing_to_the_same_name_stay_distinct() {
+        // "a b" and "a_b" both sanitize to "a_b"; the writer must keep
+        // them apart instead of emitting a duplicate input.
+        let mut nl = Netlist::new("clash");
+        let a = nl.add_input("a b");
+        let b = nl.add_input("a_b");
+        let g = nl.xor(a, b);
+        nl.mark_output("y", g);
+        let back = from_blif(&to_blif(&nl)).expect("sanitize collision must serialize");
+        assert_eq!(back.num_inputs(), 2);
+        assert!(check_equiv(&nl, &back, &EquivConfig::default()).is_equal());
+    }
+
+    #[test]
+    fn empty_port_names_still_serialize() {
+        let mut nl = Netlist::new("");
+        let a = nl.add_input("");
+        let b = nl.add_input("");
+        let g = nl.and(a, b);
+        nl.mark_output("", g);
+        let back = from_blif(&to_blif(&nl)).expect("empty names must not vanish");
+        assert_eq!(back.num_inputs(), 2);
+        assert!(check_equiv(&nl, &back, &EquivConfig::default()).is_equal());
+    }
+
+    #[test]
+    fn sanitizer_neutralizes_comment_and_continuation_chars() {
+        let mut nl = Netlist::new("weird");
+        let a = nl.add_input("a#sharp");
+        let b = nl.add_input("b\\slash");
+        let g = nl.or(a, b);
+        nl.mark_output("out put", g);
+        let back = from_blif(&to_blif(&nl)).expect("sanitized names must parse");
+        assert_eq!(back.num_inputs(), 2);
+        assert!(check_equiv(&nl, &back, &EquivConfig::default()).is_equal());
     }
 }

@@ -32,6 +32,8 @@
 //! assert!(tt.get(0b111, 0));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod blif;
 pub mod builder;
 pub mod equiv;
@@ -40,6 +42,7 @@ pub mod gate;
 pub mod netlist;
 pub mod sim;
 pub mod truth;
+pub mod verilog;
 
 pub use builder::Bus;
 pub use equiv::{check_equiv, Equivalence};

@@ -1,0 +1,352 @@
+//! Structural Verilog writer, symmetric to the [`blif`](crate::blif)
+//! module's BLIF writer.
+//!
+//! Every netlist node becomes one continuous `assign` of a bitwise
+//! expression (`&`, `|`, `^` and their negations), so the emitted
+//! module is plain synthesizable structural Verilog-2001 with no
+//! behavioral constructs. Identifiers are sanitized to the
+//! `[A-Za-z_][A-Za-z0-9_]*` class, de-conflicted against Verilog
+//! keywords and against each other, so the output is always
+//! syntactically well-formed regardless of the netlist's signal names.
+
+use std::collections::HashSet;
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+
+/// Reserved words that may never be used as emitted identifiers.
+const KEYWORDS: &[&str] = &[
+    "assign",
+    "begin",
+    "buf",
+    "case",
+    "default",
+    "else",
+    "end",
+    "endcase",
+    "endfunction",
+    "endmodule",
+    "endtask",
+    "for",
+    "function",
+    "if",
+    "inout",
+    "input",
+    "module",
+    "nand",
+    "negedge",
+    "nor",
+    "not",
+    "or",
+    "output",
+    "parameter",
+    "posedge",
+    "reg",
+    "signed",
+    "supply0",
+    "supply1",
+    "task",
+    "tri",
+    "wand",
+    "while",
+    "wire",
+    "wor",
+    "xnor",
+    "xor",
+];
+
+/// Map an arbitrary signal name onto a legal Verilog simple identifier.
+///
+/// Characters outside `[A-Za-z0-9_]` become `_`; a leading digit gets a
+/// `_` prefix; keywords and the empty string get a `sig_` prefix.
+fn legalize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() {
+        out.push_str("sig");
+    }
+    if out.chars().next().unwrap().is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    if KEYWORDS.contains(&out.as_str()) {
+        out = format!("sig_{out}");
+    }
+    out
+}
+
+/// Allocate legal, pairwise-distinct identifiers.
+struct NameTable {
+    used: HashSet<String>,
+}
+
+impl NameTable {
+    fn new() -> NameTable {
+        NameTable {
+            used: HashSet::new(),
+        }
+    }
+
+    /// Claim a unique legal identifier derived from `name`.
+    fn claim(&mut self, name: &str) -> String {
+        let base = legalize(name);
+        let mut candidate = base.clone();
+        let mut suffix = 1usize;
+        while !self.used.insert(candidate.clone()) {
+            candidate = format!("{base}_{suffix}");
+            suffix += 1;
+        }
+        candidate
+    }
+}
+
+/// Serialize a netlist as structural Verilog.
+///
+/// Primary inputs and outputs keep their (legalized) names as module
+/// ports; internal signals are named `n<i>` after their topological
+/// index. Constants are emitted as `1'b0` / `1'b1` literals.
+///
+/// # Examples
+///
+/// ```
+/// use blasys_logic::verilog::to_verilog;
+/// use blasys_logic::Netlist;
+///
+/// let mut nl = Netlist::new("half_add");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let s = nl.xor(a, b);
+/// let c = nl.and(a, b);
+/// nl.mark_output("s", s);
+/// nl.mark_output("c", c);
+///
+/// let v = to_verilog(&nl);
+/// assert!(v.starts_with("module half_add"));
+/// assert!(v.contains("= a ^ b;")); // the sum gate
+/// assert!(v.contains("assign s = ")); // driven output port
+/// assert!(v.trim_end().ends_with("endmodule"));
+/// ```
+pub fn to_verilog(nl: &Netlist) -> String {
+    let mut names = NameTable::new();
+    let module = names.claim(nl.name());
+
+    // Ports first so their names win collisions against internal wires.
+    let in_names: Vec<String> = (0..nl.num_inputs())
+        .map(|i| names.claim(nl.input_name(i)))
+        .collect();
+    let out_names: Vec<String> = nl.outputs().iter().map(|o| names.claim(o.name())).collect();
+
+    // One wire name per node; PI nodes reuse their port name.
+    let mut sig: Vec<String> = (0..nl.len()).map(|i| format!("n{i}")).collect();
+    for (idx, &pi) in nl.inputs().iter().enumerate() {
+        sig[pi.index()] = in_names[idx].clone();
+    }
+    for (id, node) in nl.iter() {
+        if node.kind() != GateKind::Input {
+            sig[id.index()] = names.claim(&sig[id.index()]);
+        }
+    }
+
+    let mut v = String::new();
+    v.push_str(&format!("module {module} ("));
+    let ports: Vec<&str> = in_names
+        .iter()
+        .chain(out_names.iter())
+        .map(String::as_str)
+        .collect();
+    v.push_str(&ports.join(", "));
+    v.push_str(");\n");
+    for n in &in_names {
+        v.push_str(&format!("  input {n};\n"));
+    }
+    for n in &out_names {
+        v.push_str(&format!("  output {n};\n"));
+    }
+
+    let wires: Vec<&String> = nl
+        .iter()
+        .filter(|(_, node)| node.kind() != GateKind::Input)
+        .map(|(id, _)| &sig[id.index()])
+        .collect();
+    if !wires.is_empty() {
+        v.push('\n');
+        for w in wires {
+            v.push_str(&format!("  wire {w};\n"));
+        }
+    }
+
+    v.push('\n');
+    for (id, node) in nl.iter() {
+        let n = &sig[id.index()];
+        let expr = match node.kind() {
+            GateKind::Input => continue,
+            GateKind::Const0 => "1'b0".to_string(),
+            GateKind::Const1 => "1'b1".to_string(),
+            k => {
+                let a = &sig[node.fanin0().unwrap().index()];
+                match k {
+                    GateKind::Buf => a.clone(),
+                    GateKind::Not => format!("~{a}"),
+                    _ => {
+                        let b = &sig[node.fanin1().unwrap().index()];
+                        match k {
+                            GateKind::And => format!("{a} & {b}"),
+                            GateKind::Or => format!("{a} | {b}"),
+                            GateKind::Xor => format!("{a} ^ {b}"),
+                            GateKind::Nand => format!("~({a} & {b})"),
+                            GateKind::Nor => format!("~({a} | {b})"),
+                            GateKind::Xnor => format!("~({a} ^ {b})"),
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+            }
+        };
+        v.push_str(&format!("  assign {n} = {expr};\n"));
+    }
+    for (o, name) in nl.outputs().iter().zip(&out_names) {
+        v.push_str(&format!("  assign {name} = {};\n", sig[o.node().index()]));
+    }
+    v.push_str("endmodule\n");
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new("demo");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let g1 = nl.and(a, b);
+        let g2 = nl.xor(g1, c);
+        let g3 = nl.nor(a, c);
+        let k0 = nl.constant(false);
+        nl.mark_output("y0", g2);
+        nl.mark_output("y1", g3);
+        nl.mark_output("k", k0);
+        nl
+    }
+
+    /// Every identifier referenced by an assign must be a declared port
+    /// or wire, every declared output must be assigned exactly once,
+    /// and the module must be bracketed by `module` / `endmodule`.
+    fn check_wellformed(v: &str) {
+        let mut declared: HashSet<String> = HashSet::new();
+        let mut assigned: Vec<String> = Vec::new();
+        assert!(v.starts_with("module "), "missing module header");
+        assert!(v.trim_end().ends_with("endmodule"), "missing endmodule");
+        for line in v.lines() {
+            let line = line.trim();
+            if let Some(rest) = line
+                .strip_prefix("input ")
+                .or_else(|| line.strip_prefix("output "))
+                .or_else(|| line.strip_prefix("wire "))
+            {
+                let name = rest.trim_end_matches(';').trim();
+                assert!(is_identifier(name), "bad identifier {name:?}");
+                assert!(declared.insert(name.to_string()), "redeclared {name}");
+            } else if let Some(rest) = line.strip_prefix("assign ") {
+                let (lhs, rhs) = rest.split_once('=').expect("assign needs =");
+                let lhs = lhs.trim();
+                assert!(declared.contains(lhs), "assign to undeclared {lhs}");
+                assigned.push(lhs.to_string());
+                for tok in rhs
+                    .trim_end_matches(';')
+                    .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '\''))
+                {
+                    let tok = tok.trim();
+                    if tok.is_empty() || tok.contains('\'') || tok == "1" {
+                        continue;
+                    }
+                    assert!(declared.contains(tok), "undeclared signal {tok:?} in rhs");
+                }
+            }
+        }
+        let mut seen = HashSet::new();
+        for a in &assigned {
+            assert!(seen.insert(a.clone()), "double assignment of {a}");
+        }
+    }
+
+    fn is_identifier(s: &str) -> bool {
+        let mut chars = s.chars();
+        matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+            && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+            && !KEYWORDS.contains(&s)
+    }
+
+    #[test]
+    fn sample_is_wellformed() {
+        check_wellformed(&to_verilog(&sample()));
+    }
+
+    #[test]
+    fn gates_map_to_expected_operators() {
+        let v = to_verilog(&sample());
+        assert!(v.contains("= a & b;"));
+        assert!(v.contains("= c ^ ")); // commutative canonicalization puts c first
+        assert!(v.contains("~(a | c);"));
+        assert!(v.contains("= 1'b0;"));
+    }
+
+    #[test]
+    fn hostile_names_are_legalized() {
+        let mut nl = Netlist::new("1bad name");
+        let a = nl.add_input("wire"); // keyword
+        let b = nl.add_input("a[3]"); // brackets
+        let g = nl.nand(a, b);
+        nl.mark_output("out put", g); // space
+        let v = to_verilog(&nl);
+        check_wellformed(&v);
+        assert!(v.starts_with("module _1bad_name"));
+        assert!(v.contains("input sig_wire;"));
+        assert!(v.contains("input a_3_;"));
+        assert!(v.contains("output out_put;"));
+    }
+
+    #[test]
+    fn colliding_names_stay_distinct() {
+        let mut nl = Netlist::new("m");
+        // Two inputs that legalize to the same identifier, plus an input
+        // squatting on an internal wire name.
+        let a = nl.add_input("a b");
+        let b = nl.add_input("a_b");
+        let c = nl.add_input("n3");
+        let g = nl.and(a, b); // likely node index 3
+        let h = nl.or(g, c);
+        nl.mark_output("a_b", h); // collides with an input port
+        let v = to_verilog(&nl);
+        check_wellformed(&v);
+    }
+
+    #[test]
+    fn every_gate_kind_emits() {
+        let mut nl = Netlist::new("all");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let outs = [
+            nl.and(a, b),
+            nl.or(a, b),
+            nl.xor(a, b),
+            nl.nand(a, b),
+            nl.nor(a, b),
+            nl.xnor(a, b),
+            nl.not(a),
+            nl.constant(true),
+        ];
+        for (i, o) in outs.into_iter().enumerate() {
+            nl.mark_output(format!("y{i}"), o);
+        }
+        check_wellformed(&to_verilog(&nl));
+    }
+}

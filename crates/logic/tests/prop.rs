@@ -73,6 +73,65 @@ proptest! {
         prop_assert!(check_equiv(&nl, &clean, &EquivConfig::default()).is_equal());
     }
 
+    /// BLIF serialization round-trips random netlists — including
+    /// constant nodes, outputs sharing one driver, and port names that
+    /// collide with the writer's internal `n<i>` naming scheme.
+    #[test]
+    fn blif_roundtrip_preserves_function(seed in any::<u64>()) {
+        use blasys_logic::blif::{from_blif, to_blif};
+
+        let input_pool = ["a", "n1", "n3", "x0", "n7"];
+        let output_pool = ["y", "n2", "n5", "out", "n11"];
+        let mut nl = Netlist::new("rt");
+        let mut x = seed | 1;
+        let mut step = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x
+        };
+        let num_inputs = 2 + (step() >> 16) as usize % 3;
+        let inputs: Vec<_> = input_pool
+            .iter()
+            .take(num_inputs)
+            .map(|n| nl.add_input(*n))
+            .collect();
+        let mut nodes = inputs;
+        // Seed the pool with both constants so covers over them appear.
+        let k0 = nl.constant(false);
+        let k1 = nl.constant(true);
+        nodes.push(k0);
+        nodes.push(k1);
+        for _ in 0..14 {
+            let r = step();
+            let a = nodes[(r >> 8) as usize % nodes.len()];
+            let b = nodes[(r >> 24) as usize % nodes.len()];
+            let g = match (r >> 40) % 7 {
+                0 => nl.and(a, b),
+                1 => nl.or(a, b),
+                2 => nl.xor(a, b),
+                3 => nl.nand(a, b),
+                4 => nl.nor(a, b),
+                5 => nl.xnor(a, b),
+                _ => nl.not(a),
+            };
+            nodes.push(g);
+        }
+        let num_outputs = 1 + (step() >> 12) as usize % 4;
+        for name in output_pool.iter().take(num_outputs) {
+            // Random drivers; repeats exercise the shared-driver aliases.
+            let d = nodes[(step() >> 7) as usize % nodes.len()];
+            nl.mark_output(*name, d);
+        }
+
+        let text = to_blif(&nl);
+        let back = from_blif(&text).expect("writer output must re-parse");
+        prop_assert_eq!(back.num_inputs(), nl.num_inputs());
+        prop_assert_eq!(back.num_outputs(), nl.num_outputs());
+        for (a, b) in nl.outputs().iter().zip(back.outputs()) {
+            prop_assert_eq!(a.name(), b.name());
+        }
+        prop_assert!(check_equiv(&nl, &back, &EquivConfig::default()).is_equal());
+    }
+
     /// Exhaustive tables match scalar evaluation everywhere.
     #[test]
     fn truth_table_matches_scalar_eval(seed in any::<u64>()) {

@@ -42,6 +42,8 @@
 //! assert_eq!(cert.worst_absolute, 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod certify;
 pub mod check;
 pub mod cnf;

@@ -4,6 +4,10 @@
 //! (scaling pixel values by coefficients).
 //!
 //! Run: `cargo run --example approximate_multiplier --release`
+//!
+//! The validation idea (never trust a sampled bound alone) is
+//! doc-tested on
+//! [`Blasys::certify`](blasys_repro::blasys::Blasys::certify).
 
 use blasys_repro::blasys::{Blasys, QorMetric};
 use blasys_repro::circuits::multiplier;

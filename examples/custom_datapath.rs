@@ -4,6 +4,10 @@
 //! formal comparison of the exact resynthesis.
 //!
 //! Run: `cargo run --example custom_datapath --release`
+//!
+//! The core snippets are doc-tested on
+//! [`to_blif`](blasys_repro::logic::blif::to_blif) and
+//! [`prove_exact`](blasys_repro::blasys::prove_exact).
 
 use blasys_repro::blasys::{Blasys, QorMetric};
 use blasys_repro::logic::blif::to_blif;

@@ -2,6 +2,11 @@
 //! accuracy / area trade-off.
 //!
 //! Run: `cargo run --example quickstart --release`
+//!
+//! The core of this walkthrough is doc-tested on
+//! [`BlasysResult::best_step_under`](blasys_repro::blasys::BlasysResult::best_step_under);
+//! the command-line equivalent is `blasys run <file.blif>` (see
+//! `docs/USAGE.md`).
 
 use blasys_repro::blasys::{Blasys, QorMetric};
 use blasys_repro::logic::builder::{add, input_bus, mark_output_bus};

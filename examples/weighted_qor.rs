@@ -4,6 +4,10 @@
 //! accuracy at the same circuit complexity.
 //!
 //! Run: `cargo run --example weighted_qor --release`
+//!
+//! The core snippets are doc-tested on
+//! [`Blasys::weighting`](blasys_repro::blasys::Blasys::weighting) and
+//! [`tradeoff_curve`](blasys_repro::blasys::pareto::tradeoff_curve).
 
 use blasys_repro::blasys::flow::OutputWeighting;
 use blasys_repro::blasys::pareto::{pareto_front, tradeoff_curve};

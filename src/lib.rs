@@ -1,4 +1,24 @@
 //! Umbrella crate re-exporting the BLASYS reproduction workspace.
+//!
+//! Each member crate is re-exported under a short alias so examples
+//! and downstream users need a single dependency:
+//!
+//! | alias | crate | role |
+//! |---|---|---|
+//! | [`logic`] | `blasys-logic` | netlists, simulation, truth tables, BLIF/Verilog I/O |
+//! | [`bmf`] | `blasys-bmf` | Boolean matrix factorization (ASSO, GreConD, GF(2)) |
+//! | [`decomp`] | `blasys-decomp` | k×m-cut decomposition and substitution |
+//! | [`synth`] | `blasys-synth` | two-level minimization, techmap, area/power/delay |
+//! | [`blasys`] | `blasys-core` | the flow: profile → explore → synthesize → certify |
+//! | [`sat`] | `blasys-sat` | CDCL solver, miters, certified error bounds |
+//! | [`circuits`] | `blasys-circuits` | the paper's benchmark generators |
+//! | [`salsa`] | `blasys-salsa` | SALSA comparison baseline |
+//! | [`par`] | `blasys-par` | scoped work-stealing thread pool |
+//!
+//! The `blasys` command-line driver lives in `crates/cli` (binary
+//! only, not re-exported); the experiment harness regenerating the
+//! paper's tables lives in `crates/bench`. See the repository README
+//! and `docs/USAGE.md` for the end-to-end story.
 pub use blasys_bmf as bmf;
 pub use blasys_circuits as circuits;
 pub use blasys_core as blasys;
