@@ -29,6 +29,12 @@ fn bench_flow(c: &mut Criterion) {
             b.iter(|| small_flow().threads(threads).run(&nl))
         });
     }
+    // Ablation: bound-pruned candidate probes off (the committed
+    // trajectory is bit-identical; only wall-clock differs).
+    g.bench_function("mult4_no_prune", |b| {
+        b.iter(|| small_flow().prune(false).run(&nl))
+    });
+
     let nl6 = multiplier(6);
     g.bench_function("mult6_serial", |b| b.iter(|| small_flow().run(&nl6)));
     g.bench_function("mult6_threads4", |b| {

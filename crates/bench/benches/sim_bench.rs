@@ -56,6 +56,12 @@ fn bench_mc_probe(c: &mut Criterion) {
         g.bench_function(format!("mult8_probe_reused_state_{samples}"), |b| {
             b.iter(|| ev.qor_probe(&mut state, 0, &zeros))
         });
+        // Retained pre-PR scalar accumulator, as the regression
+        // baseline for the packed incremental engine (`qor_bench`
+        // measures the same pair on the BLIF corpus).
+        g.bench_function(format!("mult8_probe_reference_{samples}"), |b| {
+            b.iter(|| ev.qor_probe_reference(&mut state, 0, &zeros))
+        });
     }
     g.finish();
 }

@@ -17,6 +17,31 @@
 //! cluster index), which makes the trajectory **bit-identical** for
 //! every [`Parallelism`] setting: the serial path is the same
 //! computation with one worker.
+//!
+//! # Bound-pruned probes
+//!
+//! With [`ExploreConfig::prune`] on (the default), the sweep threads a
+//! best-so-far bound through the candidate probes: each completed
+//! probe lowers a shared monotone bound (seeded with the stop
+//! threshold), and every in-flight probe abandons block-wise the
+//! moment its monotone partial error exceeds it
+//! ([`Evaluator::qor_probe_bounded`]). This is a pure wall-clock
+//! optimization — the committed trajectory is **bit-identical** with
+//! pruning on or off, at any worker count, because:
+//!
+//! * a pruned candidate's final error is ≥ its partial error, hence
+//!   strictly above the bound, hence strictly above the step winner's
+//!   error — it could never have won;
+//! * the comparison is strict, so candidates tying the bound (and the
+//!   winner itself) always run to completion, preserving the
+//!   lowest-index tie-break;
+//! * which *losers* get pruned may vary with thread timing, but
+//!   losers contribute nothing to the trajectory;
+//! * when the bound is seeded by the stop threshold and *every*
+//!   candidate is pruned, the unpruned sweep's minimum would also have
+//!   exceeded the threshold — both paths stop at the same step.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use blasys_par::{par_run_states, Parallelism};
 
@@ -45,6 +70,11 @@ pub struct ExploreConfig {
     /// Worker threads for the per-step candidate sweep. The committed
     /// trajectory is bit-identical for every setting.
     pub parallelism: Parallelism,
+    /// Abandon candidate probes block-wise once their partial error
+    /// provably exceeds the best candidate seen this step (see the
+    /// module docs). Pure wall-clock optimization: the trajectory is
+    /// bit-identical with pruning on or off.
+    pub prune: bool,
 }
 
 impl Default for ExploreConfig {
@@ -53,6 +83,7 @@ impl Default for ExploreConfig {
             metric: QorMetric::AvgRelative,
             stop: StopCriterion::Exhaust,
             parallelism: Parallelism::default(),
+            prune: true,
         }
     }
 }
@@ -123,22 +154,46 @@ pub fn explore(
         // would have kept, so the trajectory does not depend on the
         // worker count.
         let candidates: Vec<usize> = (0..n).filter(|&ci| degrees[ci] > 1).collect();
-        let probes: Vec<(f64, usize, QorReport)> = par_run_states(
+        // Shared monotone bound for pruned probes: the threshold to
+        // start with, lowered to the best completed candidate's error
+        // as probes finish. Stored as non-negative f64 bits (their
+        // unsigned order matches the float order), so workers can
+        // `fetch_min` it without locking. Timing only decides which
+        // *losers* get pruned early — never who wins.
+        let bound = AtomicU64::new(threshold.to_bits());
+        let probes: Vec<Option<(f64, usize, QorReport)>> = par_run_states(
             cfg.parallelism,
             candidates.len(),
             &mut probe_states,
             |state, i| {
                 let ci = candidates[i];
                 let rows = &profiles[ci].variant(degrees[ci] - 1).table_rows;
-                let report = evaluator.qor_probe(state, ci, rows);
-                (report.value(cfg.metric), ci, report)
+                if cfg.prune {
+                    // The bound is re-read before every block's prune
+                    // check, so in-flight probes see tightening from
+                    // peers that completed after they launched.
+                    let report =
+                        evaluator.qor_probe_bounded_by(state, ci, rows, cfg.metric, || {
+                            f64::from_bits(bound.load(Ordering::Relaxed))
+                        })?;
+                    let err = report.value(cfg.metric);
+                    bound.fetch_min(err.to_bits(), Ordering::Relaxed);
+                    Some((err, ci, report))
+                } else {
+                    let report = evaluator.qor_probe(state, ci, rows);
+                    Some((report.value(cfg.metric), ci, report))
+                }
             },
         );
         let best = probes
             .into_iter()
+            .flatten()
             .min_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         let Some((err, ci, report)) = best else {
-            break; // everything at degree 1
+            // No candidates left (all at degree 1), or every candidate
+            // was pruned past the stop threshold — in which case the
+            // unpruned minimum would also have exceeded it.
+            break;
         };
         if err > threshold {
             break; // next step would cross the threshold
@@ -292,6 +347,47 @@ mod tests {
             assert_eq!(s.degrees, p.degrees);
             assert_eq!(s.qor, p.qor, "step {}", s.step);
             assert_eq!(s.model_area_um2.to_bits(), p.model_area_um2.to_bits());
+        }
+    }
+
+    fn assert_same_trajectory(a: &[TrajectoryPoint], b: &[TrajectoryPoint]) {
+        assert_eq!(a.len(), b.len(), "trajectory length");
+        for (s, p) in a.iter().zip(b) {
+            assert_eq!(s.changed_cluster, p.changed_cluster, "step {}", s.step);
+            assert_eq!(s.degrees, p.degrees, "step {}", s.step);
+            assert_eq!(s.qor, p.qor, "step {}", s.step);
+            assert_eq!(s.model_area_um2.to_bits(), p.model_area_um2.to_bits());
+        }
+    }
+
+    #[test]
+    fn pruned_sweep_is_bit_identical_to_unpruned() {
+        for stop in [StopCriterion::Exhaust, StopCriterion::ErrorThreshold(0.05)] {
+            for parallelism in [Parallelism::Serial, Parallelism::Threads(4)] {
+                let (_nl, profiles, mut ev_pruned) = setup(8);
+                let (_n2, _p2, mut ev_plain) = setup(8);
+                let pruned = explore(
+                    &mut ev_pruned,
+                    &profiles,
+                    &ExploreConfig {
+                        stop,
+                        parallelism,
+                        prune: true,
+                        ..ExploreConfig::default()
+                    },
+                );
+                let plain = explore(
+                    &mut ev_plain,
+                    &profiles,
+                    &ExploreConfig {
+                        stop,
+                        parallelism,
+                        prune: false,
+                        ..ExploreConfig::default()
+                    },
+                );
+                assert_same_trajectory(&pruned, &plain);
+            }
         }
     }
 

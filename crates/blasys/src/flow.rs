@@ -136,6 +136,18 @@ impl Blasys {
         self
     }
 
+    /// Bound-pruned candidate probes during exploration (on by
+    /// default): abandon a candidate's Monte-Carlo evaluation
+    /// block-wise once its partial error provably exceeds the best
+    /// candidate seen this step. The committed trajectory is
+    /// **bit-identical** with pruning on or off — only wall-clock
+    /// changes (see
+    /// [`ExploreConfig::prune`](crate::explore::ExploreConfig::prune)).
+    pub fn prune(mut self, prune: bool) -> Blasys {
+        self.explore.prune = prune;
+        self
+    }
+
     /// Set the decomposition limits `k × m`.
     pub fn limits(mut self, k: usize, m: usize) -> Blasys {
         self.decomp.max_inputs = k;

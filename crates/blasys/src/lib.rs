@@ -13,11 +13,14 @@
 //! 3. **explore**: starting from the exact circuit, repeatedly
 //!    decrement the factorization degree of the subcircuit whose
 //!    approximation hurts whole-circuit QoR least, measured by
-//!    Monte-Carlo simulation — [`explore`] / [`montecarlo`]. Both
-//!    profiling and the per-step candidate sweep run on the
-//!    `blasys-par` work-stealing pool (see [`Parallelism`] and
-//!    [`flow::Blasys::parallelism`]) with bit-identical results at
-//!    any worker count;
+//!    Monte-Carlo simulation — [`explore`] / [`montecarlo`]. QoR
+//!    accumulation is a packed incremental engine (PO-cone caching,
+//!    64×64 bit transpose, bound-pruned probes — see the
+//!    [`montecarlo`] module docs), and both profiling and the
+//!    per-step candidate sweep run on the `blasys-par` work-stealing
+//!    pool (see [`Parallelism`] and [`flow::Blasys::parallelism`]);
+//!    results are bit-identical at any worker count, with pruning on
+//!    or off;
 //! 4. **synthesize** the chosen configuration into a gate-level
 //!    netlist and measure area / power / delay — [`flow`];
 //! 5. **certify** (optional, beyond the paper): upgrade the sampled

@@ -22,6 +22,40 @@
 //! the borrow checker, not a save/restore dance, guarantees that a
 //! probe performs no writes to shared committed values. Only
 //! [`Evaluator::commit`] mutates the model.
+//!
+//! # The packed incremental QoR engine
+//!
+//! Accumulating a [`QorReport`] needs one
+//! packed *value* per sample (all primary-output bits of that sample
+//! assembled into a `u64`). Three layers keep that step proportional
+//! to the probed cone, not the circuit:
+//!
+//! 1. **PO-cone caching** — [`TableNetwork::po_cone`] precomputes, per
+//!    cluster, which primary outputs its fan-out cone can reach, and
+//!    the evaluator caches the packed per-sample output values of the
+//!    *committed* network (refreshed incrementally on
+//!    [`Evaluator::commit`]). A probe recomputes only the cone POs'
+//!    words and splices them into the cached values with a mask + OR
+//!    patch — untouched outputs are never revisited.
+//! 2. **64×64 bit-matrix transpose** — [`transpose64`] converts a
+//!    block of 64 samples from per-output words to per-sample values
+//!    in `O(64·log 64)` word operations, replacing the scalar
+//!    per-lane/per-output bit extraction the accumulator used to do.
+//! 3. **Bound-pruned probes** — [`Evaluator::qor_probe_bounded`]
+//!    checks the accumulator's monotone partial value
+//!    ([`QorAccumulator::partial_value`]) after every block and
+//!    abandons the probe the moment the candidate provably cannot
+//!    beat a caller-supplied bound. Block order is fixed, so pruning
+//!    never changes which candidate wins — only how much losing
+//!    candidates cost.
+//!
+//! The pre-incremental scalar path is retained verbatim as
+//! [`Evaluator::qor_probe_reference`] /
+//! [`Evaluator::qor_current_reference`]: it is the differential-
+//! testing oracle (`tests/qor_differential.rs`) and the baseline the
+//! `qor_bench` binary measures speedups against. Both paths push
+//! identical sample values in identical order into the same
+//! accumulator, so their reports are bit-identical.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -29,7 +63,30 @@ use rand::{Rng, SeedableRng};
 use blasys_decomp::{cluster_truth_table, Partition};
 use blasys_logic::{Netlist, NodeId, Simulator};
 
-use crate::qor::{QorAccumulator, QorReport};
+use crate::qor::{QorAccumulator, QorMetric, QorReport};
+
+/// In-place 64×64 bit-matrix transpose (Hacker's Delight §7-3, scaled
+/// up): afterwards, bit `i` of `a[j]` is the former bit `j` of `a[i]`.
+///
+/// Viewing `a[o]` as "64 samples of output `o`", the transpose yields
+/// `a[lane]` = "64 output bits of sample `lane`" — the packed value
+/// the QoR accumulator consumes — in `O(64·log 64)` word operations
+/// regardless of how many outputs are populated.
+pub fn transpose64(a: &mut [u64; 64]) {
+    let mut j: usize = 32;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k: usize = 0;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
 
 /// Where a cluster input or primary output takes its value from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +112,16 @@ struct TnCluster {
     num_outputs: usize,
 }
 
+/// The primary outputs a cluster's fan-out cone can reach: the only
+/// outputs whose packed values a probe of that cluster must recompute.
+#[derive(Debug, Clone)]
+struct PoCone {
+    /// Bit `o` set ⇔ primary output `o` is in the cone.
+    mask: u64,
+    /// Cone PO indices, ascending.
+    pos: Vec<usize>,
+}
+
 /// The cluster-level table network of a decomposed circuit.
 #[derive(Debug, Clone)]
 pub struct TableNetwork {
@@ -64,6 +131,9 @@ pub struct TableNetwork {
     /// `downstream[i]` = clusters (including `i`) whose value can
     /// change when cluster `i`'s table changes, in topological order.
     downstream: Vec<Vec<usize>>,
+    /// `po_cone[i]` = primary outputs driven by some cluster in
+    /// `downstream[i]`.
+    po_cone: Vec<PoCone>,
 }
 
 impl TableNetwork {
@@ -136,11 +206,32 @@ impl TableNetwork {
             downstream[i] = (i..n).filter(|&j| mark[j]).collect();
         }
 
+        let po_cone: Vec<PoCone> = (0..n)
+            .map(|ci| {
+                let mut in_cone = vec![false; n];
+                for &d in &downstream[ci] {
+                    in_cone[d] = true;
+                }
+                let mut mask = 0u64;
+                let mut pos = Vec::new();
+                for (o, sig) in po_sigs.iter().enumerate() {
+                    if let Signal::ClusterOut { idx, .. } = sig {
+                        if in_cone[*idx] {
+                            mask |= 1u64 << o;
+                            pos.push(o);
+                        }
+                    }
+                }
+                PoCone { mask, pos }
+            })
+            .collect();
+
         TableNetwork {
             num_pis: nl.num_inputs(),
             clusters,
             po_sigs,
             downstream,
+            po_cone,
         }
     }
 
@@ -178,9 +269,27 @@ impl TableNetwork {
         &self.downstream[cluster]
     }
 
+    /// Primary outputs reachable from `cluster`'s fan-out cone
+    /// (ascending indices): the only outputs a QoR probe of this
+    /// cluster has to recompute.
+    pub fn po_cone(&self, cluster: usize) -> &[usize] {
+        &self.po_cone[cluster].pos
+    }
+
+    /// Packed form of [`TableNetwork::po_cone`]: bit `o` set ⇔ output
+    /// `o` is in the cone.
+    pub fn po_cone_mask(&self, cluster: usize) -> u64 {
+        self.po_cone[cluster].mask
+    }
+
     /// Number of primary inputs of the underlying circuit.
     pub fn num_pis(&self) -> usize {
         self.num_pis
+    }
+
+    /// Number of primary outputs of the underlying circuit.
+    pub fn num_pos(&self) -> usize {
+        self.po_sigs.len()
     }
 }
 
@@ -202,31 +311,24 @@ impl Default for McConfig {
     }
 }
 
-/// Evaluate one cluster's 64-sample block: gather per-lane row
-/// indices from the input signal words, then scatter the table rows'
-/// output bits back into per-output words.
+/// Evaluate one cluster's 64-sample block: transpose the input signal
+/// words into per-lane row indices, look every lane's table row up,
+/// and transpose the rows back into per-output words. Both directions
+/// are branchless [`transpose64`] passes — no per-bit set-bit loops.
 fn eval_block(inputs: &[Signal], rows: &[u16], resolve: impl Fn(Signal) -> u64, out: &mut [u64]) {
-    let mut idx = [0u16; 64];
+    debug_assert!(inputs.len() <= 64, "window inputs fit one index word");
+    let mut m = [0u64; 64];
     for (i, &sig) in inputs.iter().enumerate() {
-        let mut w = resolve(sig);
-        while w != 0 {
-            let lane = w.trailing_zeros() as usize;
-            w &= w - 1;
-            idx[lane] |= 1 << i;
-        }
+        m[i] = resolve(sig);
     }
-    for w in out.iter_mut() {
-        *w = 0;
+    transpose64(&mut m);
+    // `m[lane]` is now lane's row index (input bits, LSB first); rows
+    // above the input count were zero, so indices stay in range.
+    for v in m.iter_mut() {
+        *v = rows[*v as usize] as u64;
     }
-    for (lane, &ix) in idx.iter().enumerate() {
-        let row = rows[ix as usize];
-        let mut bits = row;
-        while bits != 0 {
-            let o = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
-            out[o] |= 1u64 << lane;
-        }
-    }
+    transpose64(&mut m);
+    out.copy_from_slice(&m[..out.len()]);
 }
 
 /// Per-thread overlay for `&self` QoR probes.
@@ -250,8 +352,15 @@ pub struct ProbeState {
     /// Per-block cluster-output scratch (hoisted out of the probe
     /// loop; sized to the widest cluster on first use).
     out_scratch: Vec<u64>,
-    /// Per-block primary-output scratch for QoR accumulation.
+    /// Per-block primary-output scratch for the scalar reference
+    /// accumulation ([`Evaluator::qor_probe_reference`]); the packed
+    /// path works on fixed 64-word stack blocks instead.
     po_words: Vec<u64>,
+    /// `changed[ci]` = lanes of the current block where cluster `ci`'s
+    /// probed value differs from its committed value. Written for
+    /// every cone cluster before any cone consumer reads it (block
+    /// loop, topological order), so no per-block reset is needed.
+    changed: Vec<u64>,
 }
 
 /// A reusable QoR evaluator: fixed stimulus, golden outputs from the
@@ -263,9 +372,29 @@ pub struct Evaluator {
     stimulus: Vec<Vec<u64>>,
     /// Golden output value per sample.
     golden: Vec<u64>,
+    /// Golden outputs in per-output word form:
+    /// `golden_words[po][block]`.
+    golden_words: Vec<Vec<u64>>,
     /// Cached cluster-output words of the *committed* network:
     /// `values[cluster][output][block]`.
     values: Vec<Vec<Vec<u64>>>,
+    /// Cached packed per-sample output values of the *committed*
+    /// network (`committed_po[sample]`), refreshed incrementally on
+    /// commit. Probes splice their cone POs' recomputed bits into
+    /// these values instead of re-deriving every output.
+    committed_po: Vec<u64>,
+    /// `committed_diff[po][block]` = committed PO word XOR golden
+    /// word: the lanes where the committed network already errs on
+    /// that output.
+    committed_diff: Vec<Vec<u64>>,
+    /// `committed_mism[block]` = OR of `committed_diff` over every PO:
+    /// the lanes where the committed network errs at all (drives the
+    /// skip-correct fast path of [`Evaluator::qor_current`]).
+    committed_mism: Vec<u64>,
+    /// `outside_mism[cluster][block]` = OR of `committed_diff` over
+    /// the POs *outside* the cluster's cone: the mismatching lanes a
+    /// probe of that cluster inherits and cannot affect.
+    outside_mism: Vec<Vec<u64>>,
     blocks: usize,
     samples: usize,
     output_bits: usize,
@@ -326,8 +455,12 @@ impl Evaluator {
         let samples = blocks * 64;
         let network = TableNetwork::new(nl, partition);
 
-        // Golden outputs from gate-level simulation.
+        // Golden outputs from gate-level simulation, kept in both
+        // forms: per-output words and (via transpose) packed
+        // per-sample values.
+        let num_pos = nl.num_outputs();
         let mut golden = vec![0u64; samples];
+        let mut golden_words = vec![vec![0u64; blocks]; num_pos];
         let mut sim = Simulator::new(nl);
         let mut words = vec![0u64; nl.num_inputs()];
         for b in 0..blocks {
@@ -335,15 +468,16 @@ impl Evaluator {
                 *w = stimulus[i][b];
             }
             let out = sim.run(&words);
-            for lane in 0..64 {
-                let mut v = 0u64;
-                for (o, w) in out.iter().enumerate() {
-                    v |= (w >> lane & 1) << o;
-                }
-                golden[b * 64 + lane] = v;
+            for (o, &w) in out.iter().enumerate() {
+                golden_words[o][b] = w;
             }
+            let mut m = [0u64; 64];
+            m[..out.len()].copy_from_slice(out);
+            transpose64(&mut m);
+            golden[b * 64..(b + 1) * 64].copy_from_slice(&m);
         }
 
+        let num_clusters = network.clusters.len();
         let mut ev = Evaluator {
             values: network
                 .clusters
@@ -353,16 +487,27 @@ impl Evaluator {
             network,
             stimulus,
             golden,
+            golden_words,
+            committed_po: vec![0u64; samples],
+            committed_diff: vec![vec![0u64; blocks]; num_pos],
+            committed_mism: vec![0u64; blocks],
+            outside_mism: vec![vec![0u64; blocks]; num_clusters],
             blocks,
             samples,
-            output_bits: nl.num_outputs(),
+            output_bits: num_pos,
             scratch_out: Vec::new(),
         };
         ev.recompute_all();
+        let all: Vec<usize> = (0..ev.network.po_sigs.len()).collect();
+        ev.patch_committed_po(&all, u64::MAX);
         ev
     }
 
-    /// Number of samples in the fixed stimulus.
+    /// Number of samples in the fixed stimulus — the *actual*
+    /// evaluated count: the requested [`McConfig::samples`] rounded up
+    /// to a multiple of 64 (the stimulus packs 64 samples per machine
+    /// word). Every [`QorReport::samples`] this evaluator produces
+    /// equals this value; reports must never echo the requested count.
     pub fn samples(&self) -> usize {
         self.samples
     }
@@ -393,6 +538,7 @@ impl Evaluator {
                 .collect(),
             out_scratch: Vec::with_capacity(max_out),
             po_words: Vec::with_capacity(self.network.po_sigs.len()),
+            changed: vec![0; self.network.clusters.len()],
         }
     }
 
@@ -408,6 +554,12 @@ impl Evaluator {
 
     /// Accumulate whole-circuit QoR with primary outputs resolved by
     /// `resolve`; `po_words` is caller-owned scratch.
+    ///
+    /// This is the **pre-incremental scalar accumulation**: every
+    /// primary output's word is resolved for every block and the
+    /// per-sample values are assembled bit by bit. It is retained
+    /// verbatim as the reference the packed engine is differentially
+    /// tested and benchmarked against — do not "optimize" it.
     fn qor_via(
         &self,
         po_words: &mut Vec<u64>,
@@ -431,23 +583,42 @@ impl Evaluator {
         acc.finish()
     }
 
-    /// QoR of the committed network state.
+    /// QoR of the committed network state (read straight from the
+    /// packed per-sample cache; blocks of error-free samples are
+    /// batch-counted via the committed mismatch mask).
     pub fn qor_current(&self) -> QorReport {
+        let mut acc = QorAccumulator::new(self.output_bits);
+        for (b, &mism) in self.committed_mism.iter().enumerate() {
+            acc.push_correct(64 - mism.count_ones() as usize);
+            let mut w = mism;
+            while w != 0 {
+                let lane = w.trailing_zeros() as usize;
+                w &= w - 1;
+                let s = b * 64 + lane;
+                acc.push(self.golden[s], self.committed_po[s]);
+            }
+        }
+        acc.finish()
+    }
+
+    /// Scalar reference for [`Evaluator::qor_current`]: re-resolves
+    /// every primary output from the committed cluster values and
+    /// assembles sample values bit by bit, bypassing the packed
+    /// cache. Bit-identical to `qor_current` by construction; kept
+    /// for differential testing and benchmarking.
+    pub fn qor_current_reference(&self) -> QorReport {
         let mut po_words = Vec::new();
         self.qor_via(&mut po_words, |sig, b| self.committed_word(sig, b))
     }
 
-    /// Probe: QoR if `cluster` used `rows`, without touching the
-    /// shared committed state. Only the downstream cone of `cluster`
-    /// is re-evaluated, into `state`'s overlay; everything else reads
-    /// the committed values. Safe to call concurrently from many
-    /// threads, each with its own `state`.
+    /// Recompute the probed cluster's downstream cone into `state`'s
+    /// overlay (shared prefix of every probe flavor).
     ///
     /// # Panics
     ///
     /// Panics if `state` was built for a different evaluator shape or
     /// `rows` does not match the cluster's table shape.
-    pub fn qor_probe(&self, state: &mut ProbeState, cluster: usize, rows: &[u16]) -> QorReport {
+    fn probe_cone(&self, state: &mut ProbeState, cluster: usize, rows: &[u16]) {
         assert_eq!(
             state.overlay.len(),
             self.network.clusters.len(),
@@ -493,6 +664,260 @@ impl Evaluator {
             state.overlay[ci] = mine;
             state.valid[ci] = epoch;
         }
+    }
+
+    /// Probe: QoR if `cluster` used `rows`, without touching the
+    /// shared committed state. Only the downstream cone of `cluster`
+    /// is re-evaluated, into `state`'s overlay; everything else reads
+    /// the committed values — accumulation splices the cone POs'
+    /// recomputed bits into the cached committed sample values, so
+    /// probe cost scales with the cone, not the circuit. Safe to call
+    /// concurrently from many threads, each with its own `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was built for a different evaluator shape or
+    /// `rows` does not match the cluster's table shape.
+    pub fn qor_probe(&self, state: &mut ProbeState, cluster: usize, rows: &[u16]) -> QorReport {
+        self.qor_probe_bounded(state, cluster, rows, QorMetric::AvgRelative, f64::INFINITY)
+            .expect("an unbounded probe never prunes")
+    }
+
+    /// Like [`Evaluator::qor_probe`], but abandons the probe — and
+    /// returns `None` — as soon as the candidate's monotone partial
+    /// error over `metric` exceeds `bound` (checked after every
+    /// 64-sample block, in fixed block order).
+    ///
+    /// Pruning is sound for winner selection: a pruned candidate's
+    /// final value is at least its partial value, hence strictly above
+    /// `bound`; as long as `bound` is at least the eventual best
+    /// candidate's value, no pruned candidate could have won or tied.
+    /// Ties at exactly `bound` are never pruned (the comparison is
+    /// strict), so index-based tie-breaks are preserved and greedy
+    /// trajectories stay bit-identical with pruning on or off, at any
+    /// worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was built for a different evaluator shape or
+    /// `rows` does not match the cluster's table shape.
+    pub fn qor_probe_bounded(
+        &self,
+        state: &mut ProbeState,
+        cluster: usize,
+        rows: &[u16],
+        metric: QorMetric,
+        bound: f64,
+    ) -> Option<QorReport> {
+        self.qor_probe_bounded_by(state, cluster, rows, metric, || bound)
+    }
+
+    /// Like [`Evaluator::qor_probe_bounded`], but re-reads the bound
+    /// from `bound` before every block's prune check. In a concurrent
+    /// candidate sweep the caller can hand every worker a view of a
+    /// shared monotonically-decreasing bound (e.g. an atomic lowered
+    /// as candidates complete), so in-flight probes benefit from
+    /// tightening they could not have seen at launch. Soundness is
+    /// unaffected as long as every value the closure returns is at
+    /// least the eventual best candidate's final error.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Evaluator::qor_probe`].
+    pub fn qor_probe_bounded_by(
+        &self,
+        state: &mut ProbeState,
+        cluster: usize,
+        rows: &[u16],
+        metric: QorMetric,
+        bound: impl Fn() -> f64,
+    ) -> Option<QorReport> {
+        assert_eq!(
+            state.overlay.len(),
+            self.network.clusters.len(),
+            "probe state must be built by this evaluator"
+        );
+        assert_eq!(
+            rows.len(),
+            self.network.clusters[cluster].rows.len(),
+            "table shape must match the cluster window"
+        );
+        state.epoch += 1;
+        let epoch = state.epoch;
+        let blocks = self.blocks;
+        let cone_clusters = self.network.downstream(cluster);
+        let cone = &self.network.po_cone[cluster];
+        let keep = !cone.mask;
+        let mut acc = QorAccumulator::new(self.output_bits);
+        let ProbeState {
+            valid,
+            overlay,
+            changed,
+            ..
+        } = state;
+        // Marking the whole cone valid up front is sound: the block
+        // loop below writes a producer's block-`b` words before any
+        // consumer (topological order) reads them, and nothing reads
+        // other blocks.
+        for &ci in cone_clusters {
+            valid[ci] = epoch;
+        }
+        let mut out = [0u64; 64];
+        for b in 0..blocks {
+            // Recompute the cone for this block only — block `b`
+            // values depend only on block `b` inputs, which lets a
+            // pruned probe abandon the remaining blocks' cone work
+            // too, not just their accumulation. Change propagation:
+            // a cone cluster none of whose inputs changed in this
+            // block holds exactly its committed values, so it is
+            // copied, not re-evaluated — deep in the cone, probe cost
+            // tracks the lanes the candidate actually flips.
+            for &ci in cone_clusters {
+                let c = &self.network.clusters[ci];
+                let delta = if ci == cluster {
+                    !0u64 // swapped rows: outputs may change anywhere
+                } else {
+                    let mut d = 0u64;
+                    for sig in &c.inputs {
+                        if let Signal::ClusterOut { idx, .. } = sig {
+                            if valid[*idx] == epoch {
+                                d |= changed[*idx];
+                            }
+                        }
+                    }
+                    d
+                };
+                if delta == 0 {
+                    for o in 0..c.num_outputs {
+                        overlay[ci][o * blocks + b] = self.values[ci][o][b];
+                    }
+                    changed[ci] = 0;
+                    continue;
+                }
+                let use_rows: &[u16] = if ci == cluster { rows } else { &c.rows };
+                let resolve = |sig| match sig {
+                    Signal::ClusterOut { idx, out } if valid[idx] == epoch => {
+                        overlay[idx][out * blocks + b]
+                    }
+                    other => self.committed_word(other, b),
+                };
+                let k = c.inputs.len();
+                let m = c.num_outputs;
+                let cnt = delta.count_ones() as usize;
+                if ci != cluster && cnt * (k + m) < 768 {
+                    // Sparse update: the cluster's table is unchanged
+                    // and only `cnt` lanes of its inputs moved, so
+                    // start from the committed words and re-evaluate
+                    // just those lanes (a full block eval costs two
+                    // 64×64 transposes regardless of sparsity).
+                    let mut in_words = [0u64; 64];
+                    for (i, &sig) in c.inputs.iter().enumerate() {
+                        in_words[i] = resolve(sig);
+                    }
+                    for (o, ow) in out[..m].iter_mut().enumerate() {
+                        *ow = self.values[ci][o][b];
+                    }
+                    let mut w = delta;
+                    while w != 0 {
+                        let lane = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        let mut idx = 0usize;
+                        for (i, iw) in in_words[..k].iter().enumerate() {
+                            idx |= ((iw >> lane & 1) as usize) << i;
+                        }
+                        let row = use_rows[idx] as u64;
+                        for (o, ow) in out[..m].iter_mut().enumerate() {
+                            *ow = (*ow & !(1u64 << lane)) | ((row >> o & 1) << lane);
+                        }
+                    }
+                } else {
+                    eval_block(&c.inputs, use_rows, resolve, &mut out[..m]);
+                }
+                let mut ch = 0u64;
+                for (o, &w) in out[..m].iter().enumerate() {
+                    overlay[ci][o * blocks + b] = w;
+                    ch |= w ^ self.values[ci][o][b];
+                }
+                changed[ci] = ch;
+            }
+            // Accumulate: gather the cone POs' patch words, find the
+            // lanes whose value differs from golden (inherited
+            // out-of-cone mismatches ∪ fresh cone mismatches), and
+            // batch-count the rest as correct.
+            let mut mism = self.outside_mism[cluster][b];
+            let mut pw = [0u64; 64];
+            for (slot, &o) in cone.pos.iter().enumerate() {
+                let Signal::ClusterOut { idx, out } = self.network.po_sigs[o] else {
+                    unreachable!("cone POs are cluster-driven by construction");
+                };
+                let w = overlay[idx][out * blocks + b];
+                pw[slot] = w;
+                mism |= w ^ self.golden_words[o][b];
+            }
+            let wrong = mism.count_ones() as usize;
+            acc.push_correct(64 - wrong);
+            if wrong > 0 {
+                let width = cone.pos.len();
+                if wrong * width > 448 {
+                    // Dense block: one word-level transpose beats
+                    // per-lane bit gathering.
+                    let mut m = [0u64; 64];
+                    for (slot, &o) in cone.pos.iter().enumerate() {
+                        m[o] = pw[slot];
+                    }
+                    transpose64(&mut m);
+                    let mut w = mism;
+                    while w != 0 {
+                        let lane = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        let s = b * 64 + lane;
+                        acc.push(self.golden[s], (self.committed_po[s] & keep) | m[lane]);
+                    }
+                } else {
+                    let mut w = mism;
+                    while w != 0 {
+                        let lane = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        let s = b * 64 + lane;
+                        let mut v = self.committed_po[s] & keep;
+                        for (slot, &o) in cone.pos.iter().enumerate() {
+                            v |= (pw[slot] >> lane & 1) << o;
+                        }
+                        acc.push(self.golden[s], v);
+                    }
+                }
+            }
+            let b_now = bound();
+            if b_now.is_finite() && acc.partial_value(metric, self.samples) > b_now {
+                return None;
+            }
+        }
+        let report = acc.finish();
+        debug_assert_eq!(report.samples, self.samples);
+        Some(report)
+    }
+
+    /// Pre-incremental reference probe: recomputes the downstream
+    /// cone like [`Evaluator::qor_probe`], then accumulates QoR by
+    /// resolving **every** primary output per block and extracting
+    /// sample values bit by bit — the hot path before the packed
+    /// engine. Retained as the differential-testing oracle and the
+    /// `qor_bench` baseline; bit-identical to `qor_probe` by
+    /// construction (same sample values, same push order, same
+    /// accumulator).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Evaluator::qor_probe`].
+    pub fn qor_probe_reference(
+        &self,
+        state: &mut ProbeState,
+        cluster: usize,
+        rows: &[u16],
+    ) -> QorReport {
+        self.probe_cone(state, cluster, rows);
+        let epoch = state.epoch;
+        let blocks = self.blocks;
         let mut po_words = std::mem::take(&mut state.po_words);
         let report = self.qor_via(&mut po_words, |sig, b| match sig {
             Signal::ClusterOut { idx, out } if state.valid[idx] == epoch => {
@@ -513,12 +938,58 @@ impl Evaluator {
     }
 
     /// Commit a table swap permanently (recomputes the committed
-    /// values of the downstream cone).
+    /// values of the downstream cone and splices the cone POs'
+    /// refreshed bits into the packed per-sample cache).
     pub fn commit(&mut self, cluster: usize, rows: Vec<u16>) {
         self.network.set_table(cluster, rows);
         let affected: Vec<usize> = self.network.downstream(cluster).to_vec();
         for ci in affected {
             self.recompute_cluster(ci);
+        }
+        let cone = self.network.po_cone[cluster].clone();
+        self.patch_committed_po(&cone.pos, cone.mask);
+    }
+
+    /// Recompute the committed packed values of the given POs, splice
+    /// them into `committed_po` (bits outside `mask` are kept), and
+    /// refresh the derived committed-vs-golden mismatch masks.
+    fn patch_committed_po(&mut self, pos: &[usize], mask: u64) {
+        let keep = !mask;
+        for b in 0..self.blocks {
+            let mut m = [0u64; 64];
+            for &o in pos {
+                let w = self.committed_word(self.network.po_sigs[o], b);
+                self.committed_diff[o][b] = w ^ self.golden_words[o][b];
+                m[o] = w;
+            }
+            transpose64(&mut m);
+            for (lane, &v) in m.iter().enumerate() {
+                let s = b * 64 + lane;
+                self.committed_po[s] = (self.committed_po[s] & keep) | v;
+            }
+        }
+        // Per-block mismatch rollups: over all POs (for the committed
+        // QoR fast path) and over each cluster's *out-of-cone* POs
+        // (the mismatches its probes inherit unchanged).
+        let num_pos = self.network.po_sigs.len();
+        for b in 0..self.blocks {
+            let mut all = 0u64;
+            for o in 0..num_pos {
+                all |= self.committed_diff[o][b];
+            }
+            self.committed_mism[b] = all;
+        }
+        for ci in 0..self.network.clusters.len() {
+            let cone_mask = self.network.po_cone[ci].mask;
+            for b in 0..self.blocks {
+                let mut out = 0u64;
+                for o in 0..num_pos {
+                    if cone_mask >> o & 1 == 0 {
+                        out |= self.committed_diff[o][b];
+                    }
+                }
+                self.outside_mism[ci][b] = out;
+            }
         }
     }
 
@@ -689,6 +1160,118 @@ mod tests {
             assert_eq!(d.first().copied(), Some(i));
             assert!(d.windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn transpose64_matches_naive_bit_extraction() {
+        // Deterministic pseudo-random matrix.
+        let mut a = [0u64; 64];
+        for (i, w) in a.iter_mut().enumerate() {
+            *w = (i as u64 + 1)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(i as u32 * 7);
+        }
+        let orig = a;
+        transpose64(&mut a);
+        for (i, &row) in a.iter().enumerate() {
+            for (j, &orow) in orig.iter().enumerate() {
+                assert_eq!(row >> j & 1, orow >> i & 1, "bit ({i},{j}) after transpose");
+            }
+        }
+        // Involution: transposing twice restores the matrix.
+        transpose64(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn po_cones_cover_cluster_driven_outputs() {
+        let nl = adder(8);
+        let part = decompose(&nl, &DecompConfig::default());
+        let tn = TableNetwork::new(&nl, &part);
+        for ci in 0..tn.len() {
+            let cone = tn.po_cone(ci);
+            let mask = tn.po_cone_mask(ci);
+            assert_eq!(
+                mask,
+                cone.iter().fold(0u64, |m, &o| m | 1 << o),
+                "mask must pack the cone indices"
+            );
+            assert!(cone.windows(2).all(|w| w[0] < w[1]), "ascending");
+            assert!(cone.iter().all(|&o| o < tn.num_pos()));
+        }
+        // Every cluster-driven PO is in its producer's own cone.
+        let all: u64 = (0..tn.len()).fold(0, |m, ci| m | tn.po_cone_mask(ci));
+        assert_ne!(all, 0, "an adder's sum bits are cluster-driven");
+    }
+
+    #[test]
+    fn packed_probe_matches_scalar_reference() {
+        let nl = adder(8);
+        let part = decompose(&nl, &DecompConfig::default());
+        let mut ev = Evaluator::new(&nl, &part, &small_cfg());
+        let mut st = ev.probe_state();
+        for cluster in 0..ev.network().len() {
+            let zeros = vec![0u16; ev.network().table(cluster).len()];
+            let packed = ev.qor_probe(&mut st, cluster, &zeros);
+            let scalar = ev.qor_probe_reference(&mut st, cluster, &zeros);
+            assert_eq!(packed, scalar, "cluster {cluster}");
+        }
+        assert_eq!(ev.qor_current(), ev.qor_current_reference());
+        // Same after a commit perturbs the cached committed values.
+        let zeros = vec![0u16; ev.network().table(0).len()];
+        ev.commit(0, zeros);
+        assert_eq!(ev.qor_current(), ev.qor_current_reference());
+        for cluster in 1..ev.network().len() {
+            let zeros = vec![0u16; ev.network().table(cluster).len()];
+            let packed = ev.qor_probe(&mut st, cluster, &zeros);
+            let scalar = ev.qor_probe_reference(&mut st, cluster, &zeros);
+            assert_eq!(packed, scalar, "post-commit cluster {cluster}");
+        }
+    }
+
+    #[test]
+    fn bounded_probe_prunes_hopeless_candidates_only() {
+        let nl = adder(8);
+        let part = decompose(&nl, &DecompConfig::default());
+        let ev = Evaluator::new(&nl, &part, &small_cfg());
+        let mut st = ev.probe_state();
+        let zeros = vec![0u16; ev.network().table(0).len()];
+        let full = ev.qor_probe(&mut st, 0, &zeros);
+        let err = full.avg_relative;
+        assert!(err > 0.0);
+        // Bound above the final error: never pruned, identical report.
+        let kept = ev
+            .qor_probe_bounded(&mut st, 0, &zeros, QorMetric::AvgRelative, err * 2.0)
+            .expect("bound above final error must not prune");
+        assert_eq!(kept, full);
+        // Bound at exactly the final error: a tie, never pruned.
+        let tied = ev
+            .qor_probe_bounded(&mut st, 0, &zeros, QorMetric::AvgRelative, err)
+            .expect("ties at the bound must survive for tie-breaking");
+        assert_eq!(tied, full);
+        // Bound well below: the candidate is abandoned.
+        assert!(ev
+            .qor_probe_bounded(&mut st, 0, &zeros, QorMetric::AvgRelative, err / 1e6)
+            .is_none());
+    }
+
+    #[test]
+    fn samples_are_rounded_up_to_block_multiples() {
+        let nl = adder(6);
+        let part = decompose(&nl, &DecompConfig::default());
+        let ev = Evaluator::new(
+            &nl,
+            &part,
+            &McConfig {
+                samples: 1000,
+                seed: 3,
+            },
+        );
+        assert_eq!(ev.samples(), 1024, "1000 requested -> 1024 evaluated");
+        // Every surfaced report carries the actual count.
+        assert_eq!(ev.qor_current().samples, 1024);
+        let zeros = vec![0u16; ev.network().table(0).len()];
+        assert_eq!(ev.qor_with(0, &zeros).samples, 1024);
     }
 
     #[test]

@@ -37,7 +37,12 @@ pub struct QorReport {
     pub worst_absolute: u64,
     /// Fraction of samples with any error at all.
     pub error_rate: f64,
-    /// Number of Monte-Carlo samples aggregated.
+    /// Number of Monte-Carlo samples aggregated. For reports produced
+    /// by the [`Evaluator`](crate::montecarlo::Evaluator) this is the
+    /// *actual* evaluated count
+    /// ([`Evaluator::samples`](crate::montecarlo::Evaluator::samples)):
+    /// the requested count rounded up to a multiple of 64, since the
+    /// stimulus packs 64 samples per machine word.
     pub samples: usize,
     /// SAT-certified exact worst-case absolute error, filled in by the
     /// post-exploration certification pass
@@ -99,6 +104,59 @@ impl QorAccumulator {
         self.n += 1;
     }
 
+    /// Record `k` error-free samples in one step.
+    ///
+    /// Bit-identical to `k` calls of [`QorAccumulator::push`] with
+    /// equal pairs: an equal pair contributes exactly `+0.0` to both
+    /// float sums (which are never negative zero), zero to every
+    /// counter, and cannot raise the maximum — only the sample count
+    /// moves. This lets the packed evaluator skip per-sample work for
+    /// whole blocks of matching samples.
+    pub fn push_correct(&mut self, k: usize) {
+        self.n += k as u64;
+    }
+
+    /// Number of samples pushed so far.
+    pub fn samples_seen(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The value [`QorReport::value`] would report for `metric` if all
+    /// remaining samples of a `total_samples`-sample evaluation were
+    /// error-free.
+    ///
+    /// Every driving metric is a sum of non-negative per-sample terms
+    /// divided by a constant, so this partial value is **monotone**:
+    /// it can only grow as more samples are pushed, and it is a lower
+    /// bound on the final value. That makes it sound to abandon a
+    /// candidate evaluation block-wise the moment its partial value
+    /// exceeds an incumbent's final value — the candidate can never
+    /// win (see
+    /// [`Evaluator::qor_probe_bounded`](crate::montecarlo::Evaluator::qor_probe_bounded)).
+    ///
+    /// The arithmetic matches [`QorAccumulator::finish`] operation for
+    /// operation, so when all `total_samples` samples have been pushed
+    /// the partial value is bit-identical to the finished report's.
+    pub fn partial_value(&self, metric: QorMetric, total_samples: usize) -> f64 {
+        let n = total_samples as f64;
+        match metric {
+            QorMetric::AvgRelative => self.sum_rel / n,
+            QorMetric::AvgAbsolute => self.sum_abs / n / self.max_value().max(1.0),
+            QorMetric::BitErrorRate => {
+                self.bit_errors as f64 / (n * self.output_bits.max(1) as f64)
+            }
+        }
+    }
+
+    /// Highest representable output value at this bit width.
+    fn max_value(&self) -> f64 {
+        if self.output_bits >= 64 {
+            u64::MAX as f64
+        } else {
+            ((1u128 << self.output_bits) - 1) as f64
+        }
+    }
+
     /// Finalize into a report.
     ///
     /// # Panics
@@ -107,11 +165,7 @@ impl QorAccumulator {
     pub fn finish(&self) -> QorReport {
         assert!(self.n > 0, "at least one sample required");
         let n = self.n as f64;
-        let max_value = if self.output_bits >= 64 {
-            u64::MAX as f64
-        } else {
-            ((1u128 << self.output_bits) - 1) as f64
-        };
+        let max_value = self.max_value();
         QorReport {
             avg_relative: self.sum_rel / n,
             avg_absolute: self.sum_abs / n,
@@ -178,6 +232,45 @@ mod tests {
         let r = acc.finish();
         assert!((r.bit_error_rate - 0.25).abs() < 1e-12);
         assert!((r.error_rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_value_is_monotone_and_matches_finish() {
+        let samples: [(u64, u64); 4] = [(100, 90), (50, 60), (7, 7), (0, 3)];
+        for metric in [
+            QorMetric::AvgRelative,
+            QorMetric::AvgAbsolute,
+            QorMetric::BitErrorRate,
+        ] {
+            let mut acc = QorAccumulator::new(8);
+            let mut prev = 0.0;
+            for &(g, a) in &samples {
+                acc.push(g, a);
+                let partial = acc.partial_value(metric, samples.len());
+                assert!(partial >= prev, "{metric:?} partial must not shrink");
+                prev = partial;
+            }
+            // All samples pushed: partial is bit-identical to final.
+            assert_eq!(
+                acc.partial_value(metric, samples.len()).to_bits(),
+                acc.finish().value(metric).to_bits(),
+                "{metric:?}"
+            );
+            assert_eq!(acc.samples_seen(), samples.len());
+        }
+    }
+
+    #[test]
+    fn partial_value_lower_bounds_final() {
+        // Half-way through, the partial value assumes the rest is
+        // error-free, so it can never exceed the true final value.
+        let mut acc = QorAccumulator::new(8);
+        acc.push(100, 80);
+        let partial = acc.partial_value(QorMetric::AvgRelative, 2);
+        acc.push(100, 50);
+        let fin = acc.finish().value(QorMetric::AvgRelative);
+        assert!(partial <= fin);
+        assert!((partial - 0.1).abs() < 1e-12);
     }
 
     #[test]

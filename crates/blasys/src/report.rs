@@ -361,6 +361,34 @@ mod tests {
     }
 
     #[test]
+    fn flow_report_surfaces_the_rounded_sample_count() {
+        use crate::flow::Blasys;
+        use blasys_logic::builder::{add, input_bus, mark_output_bus};
+        use blasys_logic::Netlist;
+
+        let mut nl = Netlist::new("add4");
+        let a = input_bus(&mut nl, "a", 4);
+        let b = input_bus(&mut nl, "b", 4);
+        let s = add(&mut nl, &a, &b);
+        mark_output_bus(&mut nl, "s", &s);
+        // 1000 requested -> 16 blocks -> 1024 evaluated. Every report
+        // (all trajectory steps and the projected FlowReport) must
+        // carry the actual count, never the requested one.
+        let result = Blasys::new().samples(1000).seed(5).run(&nl);
+        for p in result.trajectory() {
+            assert_eq!(p.qor.samples, 1024, "step {}", p.step);
+        }
+        let report = FlowReport::from_result(&result, 0);
+        assert_eq!(report.qor.samples, 1024);
+        let json = report.to_json().to_string();
+        assert!(json.contains("\"samples\": 1024"), "{json}");
+        assert!(
+            !json.contains("\"samples\": 1000"),
+            "requested count must not leak"
+        );
+    }
+
+    #[test]
     fn flow_report_projects_a_run() {
         use crate::flow::Blasys;
         use blasys_logic::builder::{add, input_bus, mark_output_bus};

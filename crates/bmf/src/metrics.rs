@@ -47,8 +47,13 @@ pub fn weighted_error(a: &BoolMatrix, b: &BoolMatrix, weights: &[f64]) -> f64 {
 
 /// The powers-of-two weight vector `[1, 2, 4, ...]` the paper proposes
 /// for numerically interpreted output buses (LSB first).
+///
+/// Computed as exact `f64` powers of two, which stay exact (and
+/// strictly increasing) far past the 64-bit integer range — a `u64`
+/// shift would have to clamp around column 62/63 and silently give
+/// every wider column the same weight.
 pub fn value_weights(cols: usize) -> Vec<f64> {
-    (0..cols).map(|j| (1u64 << j.min(62)) as f64).collect()
+    (0..cols).map(|j| (2.0f64).powi(j as i32)).collect()
 }
 
 /// Uniform weight vector (standard L2 / Hamming behaviour).
@@ -87,6 +92,24 @@ mod tests {
     #[test]
     fn value_weights_are_powers_of_two() {
         assert_eq!(value_weights(4), vec![1.0, 2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn value_weights_stay_exact_past_column_62() {
+        // Regression: the old `(1u64 << j.min(62)) as f64` clamped the
+        // exponent, giving every column past 62 the same 2^62 weight.
+        let w = value_weights(70);
+        assert_eq!(w.len(), 70);
+        for (j, &wj) in w.iter().enumerate() {
+            assert_eq!(wj, (2.0f64).powi(j as i32), "column {j}");
+        }
+        // Strictly increasing all the way out — no clamping plateau.
+        assert!(w.windows(2).all(|p| p[1] == 2.0 * p[0]));
+        // Unchanged below the old clamp (exact powers of two in f64).
+        assert_eq!(w[62], (1u64 << 62) as f64);
+        // And genuinely larger above it.
+        assert!(w[69] > w[62]);
+        assert_eq!(w[69] / w[62], 128.0);
     }
 
     #[test]

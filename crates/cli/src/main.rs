@@ -50,7 +50,8 @@ COMMANDS:
 FLOW OPTIONS (run / certify / profile / sweep / batch):
     --error-threshold <T>   Stop threshold for the driving metric [default: 0.05]
     --metric <M>            avg-relative | avg-absolute | bit-error-rate [default: avg-relative]
-    --samples <N>           Monte-Carlo samples [default: 10000]
+    --samples <N>           Monte-Carlo samples, rounded up to a multiple of 64;
+                            reports carry the rounded count [default: 10000]
     --seed <S>              Stimulus RNG seed [default: 2980385332]
     --limits <KxM>          Decomposition window limits [default: 10x10]
     --threads <N>           Worker threads: N, 0 or `auto` (batch defaults to auto,

@@ -29,7 +29,8 @@ impl CliError {
 /// The flow options shared by `run`, `certify`, `profile`, `sweep` and
 /// `batch`.
 pub struct FlowOpts {
-    /// Monte-Carlo sample count (`--samples`).
+    /// Monte-Carlo sample count (`--samples`). The evaluator rounds
+    /// this up to a multiple of 64; reports carry the rounded count.
     pub samples: usize,
     /// Stimulus RNG seed (`--seed`).
     pub seed: u64,

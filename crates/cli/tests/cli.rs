@@ -34,6 +34,33 @@ fn stderr(out: &Output) -> String {
 const FAST: &[&str] = &["--samples", "512", "--seed", "7"];
 
 #[test]
+fn reported_sample_count_is_the_rounded_actual_count() {
+    // `--samples 1000` rounds up to 16 blocks × 64 = 1024 evaluated
+    // samples; every surfaced count must be the actual one, never the
+    // requested 1000.
+    let dir = scratch("samples-rounding");
+    let report = dir.join("report.json");
+    let bench = benchmarks_dir().join("adder4.blif");
+    let out = blasys(&[
+        "run",
+        bench.to_str().unwrap(),
+        "--samples",
+        "1000",
+        "--seed",
+        "7",
+        "--report",
+        report.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let r = std::fs::read_to_string(&report).expect("read report");
+    assert!(
+        r.contains("\"samples\": 1024"),
+        "report must carry the rounded count: {r}"
+    );
+    assert!(!r.contains("\"samples\": 1000"), "requested count leaked");
+}
+
+#[test]
 fn run_emits_netlists_and_report() {
     let dir = scratch("run");
     let blif_out = dir.join("out.blif");

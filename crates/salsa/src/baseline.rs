@@ -167,15 +167,20 @@ pub fn run_salsa(nl: &Netlist, cfg: &SalsaConfig, threshold: f64) -> SalsaResult
                 continue;
             }
             let candidate_rows = rows_with_column(&rows_now[ci], &ladders[ci][col][next].bits, col);
-            let report = evaluator.qor_probe(&mut probe, ci, &candidate_rows);
-            if report.value(cfg.metric) <= threshold {
-                evaluator.commit(ci, candidate_rows.clone());
-                rows_now[ci] = candidate_rows;
-                rung[ci][col] = next;
-                cost_now[ci] = cand_cost;
-                moves += 1;
-            } else {
-                break;
+            // Bounded probe with the threshold as bound: a pruned
+            // candidate's error provably exceeds the threshold, so
+            // `None` takes the same branch a full probe would have.
+            let report =
+                evaluator.qor_probe_bounded(&mut probe, ci, &candidate_rows, cfg.metric, threshold);
+            match report {
+                Some(report) if report.value(cfg.metric) <= threshold => {
+                    evaluator.commit(ci, candidate_rows.clone());
+                    rows_now[ci] = candidate_rows;
+                    rung[ci][col] = next;
+                    cost_now[ci] = cand_cost;
+                    moves += 1;
+                }
+                _ => break,
             }
         }
     }
