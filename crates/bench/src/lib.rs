@@ -70,10 +70,17 @@ pub mod paper {
 
 /// Monte-Carlo sample count from `BLASYS_SAMPLES` (default 10 000).
 pub fn sample_count() -> usize {
+    sample_count_or(10_000)
+}
+
+/// Monte-Carlo sample count from `BLASYS_SAMPLES`, with a
+/// caller-chosen default — the shared env knob of the experiment
+/// binaries and every example (CI runs them with a small count).
+pub fn sample_count_or(default: usize) -> usize {
     std::env::var("BLASYS_SAMPLES")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(10_000)
+        .unwrap_or(default)
 }
 
 /// Worker-thread setting from the `--threads N` (or `--threads=N`)

@@ -43,11 +43,12 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use blasys_par::{par_run_states, Parallelism};
+use blasys_par::{Parallelism, Workers};
 
 use crate::montecarlo::Evaluator;
 use crate::profile::SubcircuitProfile;
 use crate::qor::{QorMetric, QorReport};
+use crate::session::{Budget, Exploration, FlowContext, StopReason};
 
 /// When exploration stops.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,6 +116,32 @@ pub fn explore(
     profiles: &[SubcircuitProfile],
     cfg: &ExploreConfig,
 ) -> Vec<TrajectoryPoint> {
+    explore_ctx(
+        evaluator,
+        profiles,
+        cfg,
+        Workers::Transient(cfg.parallelism),
+        &FlowContext::NONE,
+        &Budget::default(),
+    )
+    .into_trajectory()
+}
+
+/// The session-aware exploration core behind [`explore`] and
+/// [`FlowSession::explore`](crate::session::FlowSession::explore):
+/// runs the candidate sweeps on `workers` (`cfg.parallelism` only
+/// sizes the probe-state set), streams committed points through the
+/// context's observer, and stops at step boundaries on cancellation or
+/// an exceeded budget — so a truncated trajectory is always a prefix
+/// of the uninterrupted one.
+pub(crate) fn explore_ctx(
+    evaluator: &mut Evaluator,
+    profiles: &[SubcircuitProfile],
+    cfg: &ExploreConfig,
+    workers: Workers<'_>,
+    ctx: &FlowContext<'_>,
+    budget: &Budget,
+) -> Exploration {
     let n = profiles.len();
     let mut degrees: Vec<usize> = profiles.iter().map(|p| p.num_outputs).collect();
     let model_area = |degrees: &[usize]| -> f64 {
@@ -133,6 +160,7 @@ pub fn explore(
         qor: evaluator.qor_current(),
         model_area_um2: model_area(&degrees),
     });
+    ctx.trajectory_point(&trajectory[0]);
 
     let threshold = match cfg.stop {
         StopCriterion::ErrorThreshold(t) => t,
@@ -141,12 +169,19 @@ pub fn explore(
 
     // One probe overlay per worker, reused across every step (epoch
     // stamping makes reuse across commits sound — see `ProbeState`).
-    let mut probe_states: Vec<_> = (0..cfg.parallelism.worker_count().min(n).max(1))
+    let mut probe_states: Vec<_> = (0..workers.worker_count().min(n).max(1))
         .map(|_| evaluator.probe_state())
         .collect();
 
     let mut step = 0usize;
-    loop {
+    let mut probes_done = 0u64;
+    let stop_reason = loop {
+        if ctx.cancelled() {
+            break StopReason::Cancelled;
+        }
+        if ctx.expired() {
+            break StopReason::WallBudget;
+        }
         // Candidates: clusters whose degree can still drop. Probe all
         // of them concurrently against the shared committed model and
         // reduce deterministically: lowest error wins, ties broken by
@@ -154,6 +189,17 @@ pub fn explore(
         // would have kept, so the trajectory does not depend on the
         // worker count.
         let candidates: Vec<usize> = (0..n).filter(|&ci| degrees[ci] > 1).collect();
+        if candidates.is_empty() {
+            break StopReason::Exhausted;
+        }
+        // The probe budget is checked against the *whole* upcoming
+        // sweep, so capped runs are deterministic: a step either runs
+        // all its candidates or does not start.
+        if let Some(max) = budget.max_probes {
+            if probes_done + candidates.len() as u64 > max {
+                break StopReason::ProbeBudget;
+            }
+        }
         // Shared monotone bound for pruned probes: the threshold to
         // start with, lowered to the best completed candidate's error
         // as probes finish. Stored as non-negative f64 bits (their
@@ -161,11 +207,8 @@ pub fn explore(
         // `fetch_min` it without locking. Timing only decides which
         // *losers* get pruned early — never who wins.
         let bound = AtomicU64::new(threshold.to_bits());
-        let probes: Vec<Option<(f64, usize, QorReport)>> = par_run_states(
-            cfg.parallelism,
-            candidates.len(),
-            &mut probe_states,
-            |state, i| {
+        let probes: Vec<Option<(f64, usize, QorReport)>> =
+            workers.run_states(candidates.len(), &mut probe_states, |state, i| {
                 let ci = candidates[i];
                 let rows = &profiles[ci].variant(degrees[ci] - 1).table_rows;
                 if cfg.prune {
@@ -183,20 +226,19 @@ pub fn explore(
                     let report = evaluator.qor_probe(state, ci, rows);
                     Some((report.value(cfg.metric), ci, report))
                 }
-            },
-        );
+            });
+        probes_done += candidates.len() as u64;
         let best = probes
             .into_iter()
             .flatten()
             .min_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         let Some((err, ci, report)) = best else {
-            // No candidates left (all at degree 1), or every candidate
-            // was pruned past the stop threshold — in which case the
+            // Every candidate was pruned past the stop threshold — the
             // unpruned minimum would also have exceeded it.
-            break;
+            break StopReason::ThresholdReached;
         };
         if err > threshold {
-            break; // next step would cross the threshold
+            break StopReason::ThresholdReached; // next step would cross it
         }
         degrees[ci] -= 1;
         evaluator.commit(ci, profiles[ci].variant(degrees[ci]).table_rows.clone());
@@ -208,8 +250,13 @@ pub fn explore(
             qor: report,
             model_area_um2: model_area(&degrees),
         });
+        ctx.trajectory_point(trajectory.last().expect("just pushed"));
+    };
+    Exploration {
+        trajectory,
+        stop: stop_reason,
+        probes: probes_done,
     }
-    trajectory
 }
 
 /// The last trajectory point whose driving metric stays within

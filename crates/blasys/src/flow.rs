@@ -1,17 +1,19 @@
 //! End-to-end BLASYS flow: decompose → profile → explore → synthesize.
 
+use std::sync::Arc;
+
 use blasys_bmf::{Algebra, Factorizer};
 use blasys_decomp::{decompose, substitute, ClusterImpl, DecompConfig, Partition};
 use blasys_logic::Netlist;
 use blasys_par::Parallelism;
 use blasys_synth::estimate::{estimate, EstimateConfig};
-use blasys_synth::{CellLibrary, DesignMetrics, EspressoConfig};
+use blasys_synth::{CellLibrary, DesignMetrics};
 
 use crate::certify::{prove_exact, CertifiedPoint};
-use crate::explore::{explore, ExploreConfig, StopCriterion, TrajectoryPoint};
-use crate::montecarlo::{Evaluator, McConfig};
+use crate::explore::{StopCriterion, TrajectoryPoint};
 use crate::profile::{profile_partition, ProfileConfig, SubcircuitProfile};
 use crate::qor::QorMetric;
+use crate::session::{ExploreSpec, FlowConfig, FlowObserver, FlowSession};
 
 /// How per-cluster output weights are derived for weighted-QoR
 /// factorization (Section 3.2 of the paper).
@@ -28,21 +30,19 @@ pub enum OutputWeighting {
 
 /// Builder-style front-end for the complete BLASYS flow.
 ///
+/// `Blasys` is a thin facade over the staged session API: every run
+/// opens a [`FlowSession`], profiles it, and performs exactly one
+/// exploration — so one-shot results are bit-identical to the
+/// equivalent [`FlowSession`] calls. Use the session directly when
+/// several explorations of the same circuit are needed (see
+/// [`crate::session`]).
+///
 /// See the [crate-level documentation](crate) for an example.
 #[derive(Debug, Clone)]
 pub struct Blasys {
-    decomp: DecompConfig,
-    factorizer: Factorizer,
-    espresso: EspressoConfig,
-    library: CellLibrary,
-    estimate: EstimateConfig,
-    mc: McConfig,
-    explore: ExploreConfig,
-    weighting: OutputWeighting,
-    hybrid: bool,
-    stimulus: Option<Vec<Vec<u64>>>,
+    config: FlowConfig,
+    spec: ExploreSpec,
     certify: bool,
-    parallelism: Parallelism,
 }
 
 impl Default for Blasys {
@@ -57,18 +57,9 @@ impl Blasys {
     /// exhaustive trajectory.
     pub fn new() -> Blasys {
         Blasys {
-            decomp: DecompConfig::default(),
-            factorizer: Factorizer::new(),
-            espresso: EspressoConfig::default(),
-            library: CellLibrary::typical_65nm(),
-            estimate: EstimateConfig::default(),
-            mc: McConfig::default(),
-            explore: ExploreConfig::default(),
-            weighting: OutputWeighting::Uniform,
-            hybrid: true,
-            stimulus: None,
+            config: FlowConfig::new(),
+            spec: ExploreSpec::new(),
             certify: false,
-            parallelism: Parallelism::default(),
         }
     }
 
@@ -78,7 +69,7 @@ impl Blasys {
     /// are **bit-identical** at every setting; only wall-clock time
     /// changes.
     pub fn parallelism(mut self, parallelism: Parallelism) -> Blasys {
-        self.parallelism = parallelism;
+        self.config = self.config.parallelism(parallelism);
         self
     }
 
@@ -86,12 +77,17 @@ impl Blasys {
     /// `n = 1` selects the serial path and `n = 0` means one worker
     /// per hardware thread, matching the `--threads` flag and the
     /// `BLASYS_THREADS` environment variable.
-    pub fn threads(self, n: usize) -> Blasys {
-        self.parallelism(match n {
-            0 => Parallelism::Auto,
-            1 => Parallelism::Serial,
-            n => Parallelism::Threads(n),
-        })
+    pub fn threads(mut self, n: usize) -> Blasys {
+        self.config = self.config.threads(n);
+        self
+    }
+
+    /// Attach a [`FlowObserver`] streaming stage, per-window, and
+    /// per-trajectory-point progress out of the run (see
+    /// [`FlowConfig::observer`]).
+    pub fn observer(mut self, observer: Arc<dyn FlowObserver>) -> Blasys {
+        self.config = self.config.observer(observer);
+        self
     }
 
     /// Run the post-exploration certification pass as part of
@@ -125,14 +121,14 @@ impl Blasys {
     /// 64 samples per block) instead of uniform random inputs. Use for
     /// workloads whose input distribution matters (e.g. accumulators).
     pub fn stimulus(mut self, stimulus: Vec<Vec<u64>>) -> Blasys {
-        self.stimulus = Some(stimulus);
+        self.config = self.config.stimulus(stimulus);
         self
     }
 
     /// Disable the hybrid ASSO/GreConD per-variant selection (pure
     /// configured factorizer, as an ablation).
     pub fn hybrid(mut self, hybrid: bool) -> Blasys {
-        self.hybrid = hybrid;
+        self.config = self.config.hybrid(hybrid);
         self
     }
 
@@ -144,64 +140,63 @@ impl Blasys {
     /// changes (see
     /// [`ExploreConfig::prune`](crate::explore::ExploreConfig::prune)).
     pub fn prune(mut self, prune: bool) -> Blasys {
-        self.explore.prune = prune;
+        self.spec.prune = prune;
         self
     }
 
     /// Set the decomposition limits `k × m`.
     pub fn limits(mut self, k: usize, m: usize) -> Blasys {
-        self.decomp.max_inputs = k;
-        self.decomp.max_outputs = m;
+        self.config = self.config.limits(k, m);
         self
     }
 
     /// Set the full decomposition configuration.
     pub fn decomposition(mut self, cfg: DecompConfig) -> Blasys {
-        self.decomp = cfg;
+        self.config = self.config.decomposition(cfg);
         self
     }
 
     /// Number of Monte-Carlo samples (the paper uses 1 M; the default
     /// here is 10 k — raise it for final numbers).
     pub fn samples(mut self, samples: usize) -> Blasys {
-        self.mc.samples = samples;
+        self.config = self.config.samples(samples);
         self
     }
 
     /// RNG seed for the Monte-Carlo stimulus.
     pub fn seed(mut self, seed: u64) -> Blasys {
-        self.mc.seed = seed;
+        self.config = self.config.seed(seed);
         self
     }
 
     /// Stop at this error threshold instead of walking the full
     /// trajectory.
     pub fn threshold(mut self, threshold: f64) -> Blasys {
-        self.explore.stop = StopCriterion::ErrorThreshold(threshold);
+        self.spec.stop = StopCriterion::ErrorThreshold(threshold);
         self
     }
 
     /// Walk the full trajectory regardless of error (Figure 5 mode).
     pub fn exhaust(mut self) -> Blasys {
-        self.explore.stop = StopCriterion::Exhaust;
+        self.spec.stop = StopCriterion::Exhaust;
         self
     }
 
     /// The metric driving exploration and thresholds.
     pub fn metric(mut self, metric: QorMetric) -> Blasys {
-        self.explore.metric = metric;
+        self.spec.metric = metric;
         self
     }
 
     /// OR-semi-ring vs XOR-field decompressors.
     pub fn algebra(mut self, algebra: Algebra) -> Blasys {
-        self.factorizer = self.factorizer.algebra(algebra);
+        self.config = self.config.algebra(algebra);
         self
     }
 
     /// Replace the factorizer wholesale (algorithm, thresholds, ...).
     pub fn factorizer(mut self, factorizer: Factorizer) -> Blasys {
-        self.factorizer = factorizer;
+        self.config = self.config.factorizer(factorizer);
         self
     }
 
@@ -225,19 +220,35 @@ impl Blasys {
     /// assert_eq!(result.trajectory()[0].qor.avg_relative, 0.0);
     /// ```
     pub fn weighting(mut self, weighting: OutputWeighting) -> Blasys {
-        self.weighting = weighting;
+        self.config = self.config.weighting(weighting);
         self
     }
 
     /// Replace the cell library used for all estimation.
     pub fn library(mut self, library: CellLibrary) -> Blasys {
-        self.library = library;
+        self.config = self.config.library(library);
         self
+    }
+
+    /// The session configuration this builder resolves to — pass it to
+    /// [`FlowSession::open`] to profile once and explore many times.
+    pub fn session_config(&self) -> FlowConfig {
+        self.config.clone()
+    }
+
+    /// The per-exploration settings this builder resolves to — pass to
+    /// [`FlowSession::explore`](crate::session::FlowSession::explore).
+    pub fn explore_spec(&self) -> ExploreSpec {
+        self.spec.clone()
     }
 
     /// Run the full flow on a netlist parsed from a file (or any other
     /// untrusted source), validating the interface limits that
-    /// [`Blasys::run`] would otherwise enforce by panicking.
+    /// [`Blasys::run`] would otherwise turn into panics.
+    ///
+    /// Implemented on the staged session API: one
+    /// [`FlowSession::open`] → `profile` → `explore` pass, so the
+    /// result is bit-identical to the same calls made directly.
     ///
     /// # Errors
     ///
@@ -245,72 +256,28 @@ impl Blasys {
     /// gates to approximate, or more outputs than the 64-bit QoR value
     /// model supports.
     pub fn try_run(&self, nl: &Netlist) -> Result<BlasysResult, FlowError> {
-        if nl.num_outputs() == 0 {
-            return Err(FlowError::NoOutputs);
-        }
-        if nl.num_outputs() > 64 {
-            return Err(FlowError::TooManyOutputs {
-                outputs: nl.num_outputs(),
-            });
-        }
-        if nl.num_inputs() == 0 {
-            return Err(FlowError::NoInputs);
-        }
-        if nl.gate_count() == 0 {
-            return Err(FlowError::NoGates);
-        }
-        Ok(self.run(nl))
-    }
-
-    /// Run the full flow on a netlist.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the netlist has more than 64 outputs or contains no
-    /// gates. Use [`Blasys::try_run`] for circuits from untrusted
-    /// sources (e.g. parsed BLIF files).
-    pub fn run(&self, nl: &Netlist) -> BlasysResult {
-        let partition = decompose(nl, &self.decomp);
-        assert!(
-            !partition.is_empty(),
-            "netlist must contain logic to approximate"
-        );
-        let output_weights = match self.weighting {
-            OutputWeighting::Uniform => None,
-            OutputWeighting::ValueInfluence => Some(influence_weights(nl, &partition)),
-        };
-        let profile_cfg = ProfileConfig {
-            factorizer: self.factorizer.clone(),
-            espresso: self.espresso,
-            library: self.library.clone(),
-            estimate: self.estimate,
-            output_weights,
-            hybrid: self.hybrid,
-            parallelism: self.parallelism,
-        };
-        let profiles = profile_partition(nl, &partition, &profile_cfg);
-        let mut evaluator = match &self.stimulus {
-            Some(stim) => Evaluator::with_stimulus(nl, &partition, stim.clone()),
-            None => Evaluator::new(nl, &partition, &self.mc),
-        };
-        let explore_cfg = ExploreConfig {
-            parallelism: self.parallelism,
-            ..self.explore
-        };
-        let trajectory = explore(&mut evaluator, &profiles, &explore_cfg);
-        let mut result = BlasysResult {
-            original: nl.clone(),
-            partition,
-            profiles,
-            trajectory,
-            library: self.library.clone(),
-            estimate: self.estimate,
-        };
+        let session = FlowSession::open(nl, self.config.clone())?.profile()?;
+        let exploration = session.explore(&self.spec);
+        let mut result = session.into_result(exploration);
         if self.certify {
             let last = result.trajectory.len() - 1;
             result.certify_step(last);
         }
-        result
+        Ok(result)
+    }
+
+    /// Run the full flow on a netlist — a convenience wrapper over
+    /// [`Blasys::try_run`] for trusted, programmatically built
+    /// circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`FlowError`] — e.g. a netlist with more than 64
+    /// outputs or no gates to approximate. Use [`Blasys::try_run`] for
+    /// circuits from untrusted sources (e.g. parsed BLIF files).
+    pub fn run(&self, nl: &Netlist) -> BlasysResult {
+        self.try_run(nl)
+            .unwrap_or_else(|e| panic!("Blasys::run: {e} (use try_run to handle flow errors)"))
     }
 }
 
@@ -332,6 +299,13 @@ pub enum FlowError {
         /// The offending output count.
         outputs: usize,
     },
+    /// A [`CancelToken`](crate::session::CancelToken) was tripped
+    /// while a session stage that cannot keep partial work (profiling)
+    /// was running.
+    Cancelled,
+    /// A session stage exceeded its
+    /// [`wall_budget`](crate::session::FlowConfig::wall_budget).
+    BudgetExhausted,
 }
 
 impl std::fmt::Display for FlowError {
@@ -344,6 +318,13 @@ impl std::fmt::Display for FlowError {
                 f,
                 "netlist has {outputs} outputs; the QoR value model supports at most 64"
             ),
+            FlowError::Cancelled => write!(f, "flow cancelled before profiling completed"),
+            FlowError::BudgetExhausted => {
+                write!(
+                    f,
+                    "flow wall-clock budget exhausted before profiling completed"
+                )
+            }
         }
     }
 }
@@ -374,7 +355,7 @@ pub fn exact_resynthesis(nl: &Netlist, decomp: &DecompConfig) -> Netlist {
 /// about `2^c` — the paper's powers-of-two weighting generalized to
 /// internal signals. (Using the *highest* reachable bit degenerates to
 /// uniform weights: almost every internal signal can reach the MSB.)
-fn influence_weights(nl: &Netlist, partition: &Partition) -> Vec<Vec<f64>> {
+pub(crate) fn influence_weights(nl: &Netlist, partition: &Partition) -> Vec<Vec<f64>> {
     const EXP_CAP: u32 = 20;
     // reach[node] = bitset of POs reachable from node.
     let mut reach = vec![0u64; nl.len()];
@@ -423,6 +404,26 @@ pub struct BlasysResult {
 }
 
 impl BlasysResult {
+    /// Assemble a result from session-cached parts (the session API's
+    /// [`FlowSession::result`](crate::session::FlowSession::result)).
+    pub(crate) fn from_parts(
+        original: Netlist,
+        partition: Partition,
+        profiles: Vec<SubcircuitProfile>,
+        trajectory: Vec<TrajectoryPoint>,
+        library: CellLibrary,
+        estimate: EstimateConfig,
+    ) -> BlasysResult {
+        BlasysResult {
+            original,
+            partition,
+            profiles,
+            trajectory,
+            library,
+            estimate,
+        }
+    }
+
     /// The input netlist.
     pub fn original(&self) -> &Netlist {
         &self.original

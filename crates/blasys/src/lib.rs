@@ -70,6 +70,40 @@
 //! // approximation; error grows, modeled area shrinks.
 //! assert!(result.trajectory().len() > 1);
 //! ```
+//!
+//! # Sessions: profile once, explore many times
+//!
+//! [`Blasys`] reruns the whole pipeline per call. When several
+//! explorations of the **same circuit** are needed — different
+//! metrics, thresholds, prune settings — open a staged
+//! [`FlowSession`](session::FlowSession) instead: decomposition, the
+//! per-window BMF profiles, the Monte-Carlo stimulus, and the worker
+//! pool are built once and shared by every
+//! [`explore`](session::FlowSession::explore) call, each of which is
+//! bit-identical to a fresh one-shot flow. Sessions also stream
+//! progress ([`FlowObserver`](session::FlowObserver)), stop
+//! cooperatively ([`CancelToken`](session::CancelToken)), and respect
+//! probe/wall budgets ([`Budget`](session::Budget)):
+//!
+//! ```
+//! use blasys_core::session::{ExploreSpec, FlowConfig, FlowSession};
+//! use blasys_core::{FlowError, QorMetric};
+//! use blasys_circuits::multiplier;
+//!
+//! # fn main() -> Result<(), FlowError> {
+//! let nl = multiplier(3);
+//! let session = FlowSession::open(&nl, FlowConfig::new().samples(512))?.profile()?;
+//! let strict = session.explore(&ExploreSpec::new().threshold(0.02));
+//! let by_bits = session.explore(
+//!     &ExploreSpec::new().metric(QorMetric::BitErrorRate).threshold(0.05),
+//! );
+//! // Each exploration packages into a full result on demand.
+//! let result = session.result(&strict);
+//! assert_eq!(result.trajectory().len(), strict.trajectory().len());
+//! # let _ = by_bits;
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 
@@ -82,6 +116,7 @@ pub mod pareto;
 pub mod profile;
 pub mod qor;
 pub mod report;
+pub mod session;
 
 pub use blasys_par::Parallelism;
 pub use certify::{prove_exact, CertifiedPoint};
@@ -91,3 +126,7 @@ pub use montecarlo::{Evaluator, McConfig, ProbeState, Signal, TableNetwork};
 pub use profile::{profile_partition, SubcircuitProfile, Variant};
 pub use qor::{QorMetric, QorReport};
 pub use report::{FlowReport, Json};
+pub use session::{
+    Budget, CancelToken, Exploration, ExploreSpec, FlowConfig, FlowObserver, FlowSession,
+    FlowStage, StopReason,
+};

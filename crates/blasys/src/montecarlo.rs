@@ -365,7 +365,12 @@ pub struct ProbeState {
 
 /// A reusable QoR evaluator: fixed stimulus, golden outputs from the
 /// exact netlist, `&self` probes and `&mut self` commits.
-#[derive(Debug)]
+///
+/// `Clone` duplicates the full committed state (tables, caches,
+/// stimulus, golden outputs) without re-simulating anything — a
+/// [`FlowSession`](crate::session::FlowSession) keeps one pristine
+/// exact-tables evaluator and clones it per exploration.
+#[derive(Debug, Clone)]
 pub struct Evaluator {
     network: TableNetwork,
     /// `stimulus[pi][block]`.

@@ -10,9 +10,12 @@
 use blasys_bmf::{metrics, Algebra, Algorithm, Factorizer};
 use blasys_decomp::{cluster_truth_table, extract_cluster_netlist, Partition};
 use blasys_logic::{Netlist, TruthTable};
-use blasys_par::{par_run, Parallelism};
+use blasys_par::{Parallelism, Workers};
 use blasys_synth::estimate::{estimate, EstimateConfig};
 use blasys_synth::{synthesize_tt, CellLibrary, EspressoConfig};
+
+use crate::flow::FlowError;
+use crate::session::FlowContext;
 
 /// One factorization degree of one subcircuit.
 #[derive(Debug, Clone)]
@@ -120,12 +123,49 @@ pub fn profile_partition(
     partition: &Partition,
     cfg: &ProfileConfig,
 ) -> Vec<SubcircuitProfile> {
-    par_run(cfg.parallelism, partition.len(), |ci| {
+    profile_partition_ctx(
+        nl,
+        partition,
+        cfg,
+        Workers::Transient(cfg.parallelism),
+        &FlowContext::NONE,
+    )
+    .expect("profiling without a cancel token or deadline cannot fail")
+}
+
+/// The session-aware core behind [`profile_partition`] and
+/// [`FlowSession::profile`](crate::session::FlowSession::profile):
+/// runs the per-window work on `workers` (`cfg.parallelism` is ignored
+/// in favor of it), reports each completed window to the context's
+/// observer, and aborts between windows when the context's token is
+/// tripped or its deadline passes.
+pub(crate) fn profile_partition_ctx(
+    nl: &Netlist,
+    partition: &Partition,
+    cfg: &ProfileConfig,
+    workers: Workers<'_>,
+    ctx: &FlowContext<'_>,
+) -> Result<Vec<SubcircuitProfile>, FlowError> {
+    let total = partition.len();
+    let profiles: Vec<Option<SubcircuitProfile>> = workers.run(total, |ci| {
+        if ctx.cancelled() || ctx.expired() {
+            return None;
+        }
         let cluster = &partition.clusters()[ci];
         let tt = cluster_truth_table(nl, cluster);
         let reference = extract_cluster_netlist(nl, cluster, &format!("s{ci}_ref"));
-        profile_window_with_reference(ci, &tt, Some(reference), cfg)
-    })
+        let profile = profile_window_with_reference(ci, &tt, Some(reference), cfg);
+        ctx.window_profiled(&profile, total);
+        Some(profile)
+    });
+    if profiles.iter().any(Option::is_none) {
+        return Err(if ctx.cancelled() {
+            FlowError::Cancelled
+        } else {
+            FlowError::BudgetExhausted
+        });
+    }
+    Ok(profiles.into_iter().flatten().collect())
 }
 
 /// Profile a single window truth table at every degree.

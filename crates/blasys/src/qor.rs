@@ -20,6 +20,17 @@ pub enum QorMetric {
     BitErrorRate,
 }
 
+impl QorMetric {
+    /// Every metric variant, in declaration order — the single source
+    /// of truth for exhaustive iteration (CLI flag round-trip tests,
+    /// report serialization).
+    pub const ALL: [QorMetric; 3] = [
+        QorMetric::AvgRelative,
+        QorMetric::AvgAbsolute,
+        QorMetric::BitErrorRate,
+    ];
+}
+
 /// Aggregated error statistics of one accuracy evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct QorReport {

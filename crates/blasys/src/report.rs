@@ -288,10 +288,11 @@ pub fn metric_name(metric: QorMetric) -> &'static str {
     }
 }
 
-/// Parse a metric name as printed by [`metric_name`] (also accepts the
-/// shorthands `rel`, `abs`, `ber`).
+/// Parse a metric name as printed by [`metric_name`]. Matching is
+/// case-insensitive, tolerates surrounding whitespace and `_` for `-`,
+/// and also accepts the shorthands `rel`, `abs`, `ber`.
 pub fn parse_metric(name: &str) -> Option<QorMetric> {
-    match name.to_ascii_lowercase().as_str() {
+    match name.trim().to_ascii_lowercase().as_str() {
         "avg-relative" | "avg_relative" | "rel" => Some(QorMetric::AvgRelative),
         "avg-absolute" | "avg_absolute" | "abs" => Some(QorMetric::AvgAbsolute),
         "bit-error-rate" | "bit_error_rate" | "ber" => Some(QorMetric::BitErrorRate),
@@ -348,16 +349,30 @@ mod tests {
     }
 
     #[test]
-    fn metric_names_round_trip() {
-        for m in [
-            QorMetric::AvgRelative,
-            QorMetric::AvgAbsolute,
-            QorMetric::BitErrorRate,
-        ] {
-            assert_eq!(parse_metric(metric_name(m)), Some(m));
+    fn every_metric_round_trips_through_its_name() {
+        // QorMetric::ALL is the exhaustive variant list, so the CLI
+        // `--metric` flag can never drift from the report layer: a new
+        // variant without a metric_name arm fails to compile, and one
+        // parse_metric cannot read back fails here.
+        for m in QorMetric::ALL {
+            assert_eq!(parse_metric(metric_name(m)), Some(m), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn metric_parsing_is_forgiving() {
+        for m in QorMetric::ALL {
+            let name = metric_name(m);
+            // Case-insensitive, whitespace-tolerant, `_` for `-`.
+            assert_eq!(parse_metric(&name.to_ascii_uppercase()), Some(m), "{name}");
+            assert_eq!(parse_metric(&format!("  {name} ")), Some(m), "{name}");
+            assert_eq!(parse_metric(&name.replace('-', "_")), Some(m), "{name}");
         }
         assert_eq!(parse_metric("ber"), Some(QorMetric::BitErrorRate));
+        assert_eq!(parse_metric("REL"), Some(QorMetric::AvgRelative));
+        assert_eq!(parse_metric("Abs"), Some(QorMetric::AvgAbsolute));
         assert_eq!(parse_metric("nope"), None);
+        assert_eq!(parse_metric(""), None);
     }
 
     #[test]

@@ -32,10 +32,9 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
     let file = require(file, "input BLIF file")?;
 
     let nl = parse_blif_file(&file)?;
-    let mut result = opts
-        .flow()
-        .try_run(&nl)
-        .map_err(|e| CliError::runtime(format!("{file}: {e}")))?;
+    let session = opts.profiled_session(&file, &nl)?;
+    let exploration = session.explore(&opts.explore_spec());
+    let mut result = session.into_result(exploration);
     let step = result
         .best_step_under(opts.metric, opts.threshold)
         .unwrap_or(0);

@@ -19,7 +19,9 @@
 //!   `benchmarks/` corpus from the `blasys-circuits` generators.
 //!
 //! Exit codes: `0` success, `1` runtime failure (unreadable or
-//! malformed input, flow error), `2` usage error.
+//! malformed input, I/O error), `2` usage error or an input circuit
+//! the flow cannot drive (printed as the
+//! [`FlowError`](blasys_core::FlowError) display text).
 
 use std::process::ExitCode;
 
@@ -56,6 +58,7 @@ FLOW OPTIONS (run / certify / profile / sweep / batch):
     --limits <KxM>          Decomposition window limits [default: 10x10]
     --threads <N>           Worker threads: N, 0 or `auto` (batch defaults to auto,
                             everything else to $BLASYS_THREADS or serial)
+    --progress              Stream stage / window / trajectory progress to stderr
 
 OUTPUT OPTIONS:
     run:      --blif <PATH>  --verilog <PATH>  --report <PATH|-> [default: -]
@@ -63,13 +66,15 @@ OUTPUT OPTIONS:
     profile:  --json  --out <PATH|-> [default: -]
     sweep:    --thresholds <T1,T2,..> [default: 0.01,0.02,0.05,0.1,0.25]
               --format <csv|json> [default: csv]  --out <PATH|-> [default: -]
+    batch:    --thresholds <T1,T2,..> explore each circuit's cached profile
+              once per rung (adds a threshold column)
 
 EXAMPLES:
     blasys run benchmarks/adder8.blif --error-threshold 0.05 \\
         --verilog approx.v --report report.json
     blasys certify benchmarks/mult3.blif --error-threshold 0.1
-    blasys sweep benchmarks/mult4.blif --format csv
-    blasys batch benchmarks/ --threads auto";
+    blasys sweep benchmarks/mult4.blif --format csv --progress
+    blasys batch benchmarks/ --threads auto --thresholds 0.02,0.05,0.1";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -95,6 +100,12 @@ fn main() -> ExitCode {
         Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!("\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Flow(msg)) => {
+            // The circuit cannot be driven through the flow as given —
+            // an input problem, not a runtime failure.
+            eprintln!("error: {msg}");
             ExitCode::from(2)
         }
         Err(CliError::Runtime(msg)) => {

@@ -1,8 +1,16 @@
-//! Shared argument parsing: errors, the common flow options, and small
-//! I/O helpers used by every subcommand.
+//! Shared argument parsing: errors, the common flow options, the
+//! `--progress` observer, and small I/O helpers used by every
+//! subcommand.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use blasys_core::report::parse_metric;
-use blasys_core::{Blasys, Parallelism, QorMetric};
+use blasys_core::session::{
+    ExploreSpec, FlowConfig, FlowObserver, FlowSession, FlowStage, Profiled,
+};
+use blasys_core::{FlowError, Parallelism, QorMetric, SubcircuitProfile, TrajectoryPoint};
 use blasys_logic::blif::from_blif;
 use blasys_logic::Netlist;
 
@@ -10,7 +18,11 @@ use blasys_logic::Netlist;
 pub enum CliError {
     /// Bad invocation (unknown flag, missing argument) — exit 2.
     Usage(String),
-    /// Runtime failure (I/O, parse, flow) — exit 1.
+    /// The input circuit cannot be driven through the flow (no gates,
+    /// too many outputs, ...) — printed as the [`FlowError`] `Display`
+    /// text, exit 2.
+    Flow(String),
+    /// Runtime failure (I/O, parse) — exit 1.
     Runtime(String),
 }
 
@@ -23,6 +35,11 @@ impl CliError {
     /// Construct a runtime error.
     pub fn runtime(msg: impl Into<String>) -> CliError {
         CliError::Runtime(msg.into())
+    }
+
+    /// Wrap a [`FlowError`] for `file`.
+    pub fn flow(file: &str, e: FlowError) -> CliError {
+        CliError::Flow(format!("{file}: {e}"))
     }
 }
 
@@ -42,6 +59,9 @@ pub struct FlowOpts {
     pub parallelism: Option<Parallelism>,
     /// Decomposition window limits k×m (`--limits`).
     pub limits: (usize, usize),
+    /// Stream stage / window / trajectory progress to stderr
+    /// (`--progress`).
+    pub progress: bool,
 }
 
 impl Default for FlowOpts {
@@ -53,6 +73,7 @@ impl Default for FlowOpts {
             metric: QorMetric::AvgRelative,
             parallelism: None,
             limits: (10, 10),
+            progress: false,
         }
     }
 }
@@ -62,18 +83,18 @@ impl FlowOpts {
     /// arguments consumed (`None` when the flag is not a flow option).
     pub fn take(&mut self, args: &[String], i: usize) -> Result<Option<usize>, CliError> {
         let flag = args[i].as_str();
-        let parsed = match flag {
+        let consumed = match flag {
             "--samples" => {
                 self.samples = parse_value(args, i, "sample count")?;
-                true
+                2
             }
             "--seed" => {
                 self.seed = parse_value(args, i, "seed")?;
-                true
+                2
             }
             "--error-threshold" => {
                 self.threshold = parse_value(args, i, "error threshold")?;
-                true
+                2
             }
             "--metric" => {
                 let v = value(args, i)?;
@@ -82,7 +103,7 @@ impl FlowOpts {
                         "unknown metric `{v}` (expected avg-relative, avg-absolute or bit-error-rate)"
                     ))
                 })?;
-                true
+                2
             }
             "--threads" => {
                 // Parallelism::parse maps garbage to Serial — fine for
@@ -94,7 +115,7 @@ impl FlowOpts {
                     )));
                 }
                 self.parallelism = Some(Parallelism::parse(v));
-                true
+                2
             }
             "--limits" => {
                 let v = value(args, i)?;
@@ -108,11 +129,15 @@ impl FlowOpts {
                         CliError::usage(format!("invalid --limits `{v}` (expected KxM, 1..=16)"))
                     })?;
                 self.limits = (k, m);
-                true
+                2
             }
-            _ => false,
+            "--progress" => {
+                self.progress = true;
+                1
+            }
+            _ => return Ok(None),
         };
-        Ok(parsed.then_some(2))
+        Ok(Some(consumed))
     }
 
     /// The effective worker setting: the `--threads` flag, else the
@@ -121,28 +146,110 @@ impl FlowOpts {
         self.parallelism.unwrap_or_else(Parallelism::from_env)
     }
 
-    /// A [`Blasys`] builder configured from these options (threshold
-    /// stop — the normal `run` / `certify` mode).
-    pub fn flow(&self) -> Blasys {
-        self.flow_with(self.parallelism())
-    }
-
-    /// Like [`FlowOpts::flow`] but walking the full trajectory
-    /// (`sweep` mode).
-    pub fn flow_exhaust(&self) -> Blasys {
-        self.flow_with(self.parallelism()).exhaust()
-    }
-
-    /// The builder with an explicit parallelism override (used by
-    /// `batch`, whose workers must run each flow serially).
-    pub fn flow_with(&self, parallelism: Parallelism) -> Blasys {
-        Blasys::new()
+    /// The session configuration these options resolve to, with an
+    /// explicit parallelism (used by `batch`, whose per-circuit flows
+    /// must run serially inside the corpus pool).
+    pub fn flow_config_with(&self, parallelism: Parallelism) -> FlowConfig {
+        let mut cfg = FlowConfig::new()
             .samples(self.samples)
             .seed(self.seed)
-            .metric(self.metric)
             .limits(self.limits.0, self.limits.1)
-            .parallelism(parallelism)
+            .parallelism(parallelism);
+        if self.progress {
+            cfg = cfg.observer(Arc::new(Progress::new()));
+        }
+        cfg
+    }
+
+    /// The session configuration these options resolve to.
+    pub fn flow_config(&self) -> FlowConfig {
+        self.flow_config_with(self.parallelism())
+    }
+
+    /// The per-exploration settings: the driving metric with the
+    /// `--error-threshold` stop.
+    pub fn explore_spec(&self) -> ExploreSpec {
+        ExploreSpec::new()
+            .metric(self.metric)
             .threshold(self.threshold)
+    }
+
+    /// Like [`FlowOpts::explore_spec`] but walking the full trajectory
+    /// (`sweep` mode).
+    pub fn explore_spec_exhaust(&self) -> ExploreSpec {
+        ExploreSpec::new().metric(self.metric).exhaust()
+    }
+
+    /// Open and profile a session for `file`'s netlist — the shared
+    /// front half of `run`, `certify`, `profile`, and `sweep`.
+    pub fn profiled_session(
+        &self,
+        file: &str,
+        nl: &Netlist,
+    ) -> Result<FlowSession<Profiled>, CliError> {
+        FlowSession::open(nl, self.flow_config())
+            .and_then(FlowSession::profile)
+            .map_err(|e| CliError::flow(file, e))
+    }
+}
+
+/// The `--progress` observer: streams stage begin/end, per-window
+/// profile completion, and every committed trajectory point to stderr.
+pub struct Progress {
+    start: Instant,
+    windows_done: AtomicUsize,
+}
+
+impl Progress {
+    /// A fresh observer; timestamps are relative to construction.
+    pub fn new() -> Progress {
+        Progress {
+            start: Instant::now(),
+            windows_done: AtomicUsize::new(0),
+        }
+    }
+
+    fn stamp(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Progress {
+    fn default() -> Progress {
+        Progress::new()
+    }
+}
+
+impl FlowObserver for Progress {
+    fn on_stage_start(&self, stage: FlowStage) {
+        eprintln!("[{:8.3}s] {stage}: start", self.stamp());
+    }
+
+    fn on_stage_end(&self, stage: FlowStage) {
+        eprintln!("[{:8.3}s] {stage}: done", self.stamp());
+    }
+
+    fn on_window_profiled(&self, profile: &SubcircuitProfile, total_windows: usize) {
+        let done = self.windows_done.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!(
+            "[{:8.3}s] profile: window {done}/{total_windows} (cluster {}, {}x{}, {} degrees)",
+            self.stamp(),
+            profile.cluster,
+            profile.num_inputs,
+            profile.num_outputs,
+            profile.variants.len()
+        );
+    }
+
+    fn on_trajectory_point(&self, point: &TrajectoryPoint) {
+        eprintln!(
+            "[{:8.3}s] explore: step {} (cluster {:?}, avg rel err {:.5}, model area {:.1} um^2)",
+            self.stamp(),
+            point.step,
+            point.changed_cluster,
+            point.qor.avg_relative,
+            point.model_area_um2
+        );
     }
 }
 
@@ -162,6 +269,19 @@ pub fn parse_value<T: std::str::FromStr>(
     let v = value(args, i)?;
     v.parse()
         .map_err(|_| CliError::usage(format!("invalid {what} `{v}`")))
+}
+
+/// Parse a comma-separated `--thresholds` ladder.
+pub fn parse_thresholds(v: &str) -> Result<Vec<f64>, CliError> {
+    let thresholds: Vec<f64> = v
+        .split(',')
+        .map(|t| t.trim().parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| CliError::usage(format!("invalid --thresholds `{v}`")))?;
+    if thresholds.is_empty() {
+        return Err(CliError::usage("--thresholds must list at least one value"));
+    }
+    Ok(thresholds)
 }
 
 /// Read and parse one BLIF file.

@@ -1,8 +1,7 @@
-//! `blasys profile` — dump the per-window BMF factorization profile.
+//! `blasys profile` — dump the per-window BMF factorization profile,
+//! using the session API's decompose + profile stages.
 
-use blasys_core::profile::{profile_partition, ProfileConfig};
 use blasys_core::Json;
-use blasys_decomp::{decompose, DecompConfig};
 
 use crate::opts::{
     parse_blif_file, require, set_positional, value, write_output, CliError, FlowOpts,
@@ -37,27 +36,9 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
     let file = require(file, "input BLIF file")?;
 
     let nl = parse_blif_file(&file)?;
-    let partition = decompose(
-        &nl,
-        &DecompConfig {
-            max_inputs: opts.limits.0,
-            max_outputs: opts.limits.1,
-            ..DecompConfig::default()
-        },
-    );
-    if partition.is_empty() {
-        return Err(CliError::runtime(format!(
-            "{file}: netlist contains no gates to profile"
-        )));
-    }
-    let profiles = profile_partition(
-        &nl,
-        &partition,
-        &ProfileConfig {
-            parallelism: opts.parallelism(),
-            ..ProfileConfig::default()
-        },
-    );
+    let session = opts.profiled_session(&file, &nl)?;
+    let partition = session.partition();
+    let profiles = session.profiles();
 
     if json {
         let clusters: Vec<Json> = profiles
@@ -93,7 +74,7 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
         write_output(&out, &doc.pretty())
     } else {
         let mut rows = Vec::new();
-        for p in &profiles {
+        for p in profiles {
             for v in &p.variants {
                 rows.push(vec![
                     p.cluster.to_string(),

@@ -1,4 +1,5 @@
-//! `blasys run` — the full flow on one BLIF circuit.
+//! `blasys run` — the full flow on one BLIF circuit, driven through
+//! the staged session API.
 
 use blasys_core::report::FlowReport;
 use blasys_logic::blif::to_blif;
@@ -50,10 +51,9 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
         nl.gate_count()
     );
 
-    let result = opts
-        .flow()
-        .try_run(&nl)
-        .map_err(|e| CliError::runtime(format!("{file}: {e}")))?;
+    let session = opts.profiled_session(&file, &nl)?;
+    let exploration = session.explore(&opts.explore_spec());
+    let result = session.into_result(exploration);
     let step = result
         .best_step_under(opts.metric, opts.threshold)
         .unwrap_or(0);

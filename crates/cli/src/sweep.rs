@@ -1,11 +1,17 @@
 //! `blasys sweep` — Pareto sweep over an error-threshold ladder.
+//!
+//! One profiled [`FlowSession`](blasys_core::session::FlowSession)
+//! serves the whole ladder: a single exhaustive exploration records
+//! the full trade-off curve and every rung is read off it (the stage
+//! reuse the CLI used to hand-roll now lives in the library).
 
 use blasys_core::pareto::{pareto_front, tradeoff_curve};
 use blasys_core::report::metric_name;
 use blasys_core::Json;
 
 use crate::opts::{
-    parse_blif_file, require, set_positional, value, write_output, CliError, FlowOpts,
+    parse_blif_file, parse_thresholds, require, set_positional, value, write_output, CliError,
+    FlowOpts,
 };
 
 const DEFAULT_LADDER: &[f64] = &[0.01, 0.02, 0.05, 0.10, 0.25];
@@ -24,15 +30,7 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
         }
         match args[i].as_str() {
             "--thresholds" => {
-                let v = value(args, i)?;
-                thresholds = v
-                    .split(',')
-                    .map(|t| t.trim().parse::<f64>())
-                    .collect::<Result<_, _>>()
-                    .map_err(|_| CliError::usage(format!("invalid --thresholds `{v}`")))?;
-                if thresholds.is_empty() {
-                    return Err(CliError::usage("--thresholds must list at least one value"));
-                }
+                thresholds = parse_thresholds(value(args, i)?)?;
                 i += 2;
             }
             "--format" => {
@@ -57,11 +55,11 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
     let file = require(file, "input BLIF file")?;
 
     let nl = parse_blif_file(&file)?;
-    // One exhaustive walk serves every threshold on the ladder.
-    let result = opts
-        .flow_exhaust()
-        .try_run(&nl)
-        .map_err(|e| CliError::runtime(format!("{file}: {e}")))?;
+    // Profile once; one exhaustive walk serves every threshold on the
+    // ladder.
+    let session = opts.profiled_session(&file, &nl)?;
+    let exploration = session.explore(&opts.explore_spec_exhaust());
+    let result = session.into_result(exploration);
     let baseline = result.baseline_metrics();
 
     struct Row {

@@ -209,6 +209,85 @@ fn profile_lists_every_degree() {
 }
 
 #[test]
+fn progress_streams_stage_window_and_step_events() {
+    let bench = benchmarks_dir().join("mult3.blif");
+    let out = blasys(&[&["sweep", bench.to_str().unwrap()], FAST, &["--progress"]].concat());
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let e = stderr(&out);
+    for marker in [
+        "decompose: start",
+        "decompose: done",
+        "profile: start",
+        "profile: window 1/",
+        "profile: done",
+        "explore: start",
+        "explore: step 0",
+        "explore: done",
+    ] {
+        assert!(e.contains(marker), "missing `{marker}` in progress: {e}");
+    }
+    // Progress goes to stderr only; stdout stays machine-readable CSV.
+    let s = stdout(&out);
+    assert!(s.starts_with("threshold,"), "stdout polluted: {s}");
+}
+
+#[test]
+fn batch_threshold_ladder_reuses_one_profile_per_circuit() {
+    let dir = benchmarks_dir();
+    let out = blasys(
+        &[
+            &["batch", dir.to_str().unwrap()],
+            FAST,
+            &["--threads", "2", "--thresholds", "0.02,0.25", "--progress"],
+        ]
+        .concat(),
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let table = stdout(&out);
+    assert!(
+        table.contains("threshold"),
+        "ladder column missing: {table}"
+    );
+    // Two rows per circuit: each name appears once per rung.
+    assert_eq!(
+        table.matches("mult4").count(),
+        2,
+        "one row per rung: {table}"
+    );
+    // The session profiled each circuit once but explored twice: the
+    // progress stream must show more explore starts than profile
+    // starts.
+    let e = stderr(&out);
+    let profiles = e.matches("profile: start").count();
+    let explores = e.matches("explore: start").count();
+    assert_eq!(profiles, 5, "one profile pass per circuit: {e}");
+    assert_eq!(explores, 10, "one exploration per circuit per rung: {e}");
+}
+
+#[test]
+fn unapproximable_circuit_exits_2_with_flow_error_text() {
+    // Parses fine, but there is nothing to approximate: outputs are
+    // constants, so the flow rejects it with a FlowError (exit 2), not
+    // a panic or a runtime (exit 1) failure.
+    let dir = scratch("flow-error");
+    let gateless = dir.join("gateless.blif");
+    std::fs::write(
+        &gateless,
+        ".model gateless\n.inputs a\n.outputs f\n.names f\n.end\n",
+    )
+    .unwrap();
+    for cmd in ["run", "certify", "profile", "sweep"] {
+        let out = blasys(&[cmd, gateless.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(2), "{cmd}: {}", stderr(&out));
+        assert!(
+            stderr(&out).contains("no gates to approximate"),
+            "{cmd} must print the FlowError display text: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
 fn malformed_blif_exits_1() {
     let dir = scratch("malformed");
     let bad = dir.join("bad.blif");

@@ -38,7 +38,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// How much parallelism a flow phase may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -250,6 +250,365 @@ where
         .into_iter()
         .map(|r| r.expect("every task produced a result"))
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Persistent pool
+// ---------------------------------------------------------------------------
+
+/// A type-erased fork-join job: `call(ctx, worker_index)` drains the
+/// job's task queues. The pointer is only dereferenced while the
+/// submitting call blocks in [`Pool::run_states`], so the borrowed
+/// closure/state/result storage it points at is always live.
+#[derive(Clone, Copy)]
+struct Job {
+    call: unsafe fn(*const (), usize),
+    ctx: *const (),
+}
+
+// SAFETY: the ctx pointer crosses into worker threads, but the data it
+// points at is a `JobCtx` whose fields are constrained to `Send`/`Sync`
+// types by the `run_states` signature, and the submitter blocks until
+// every worker is done with the job before the storage goes away.
+unsafe impl Send for Job {}
+
+struct JobSlot {
+    /// Monotone job counter; workers run each epoch exactly once.
+    epoch: u64,
+    /// The in-flight job, cleared when the last worker finishes it.
+    job: Option<Job>,
+    /// Workers still active on the current job.
+    remaining: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    slot: Mutex<JobSlot>,
+    /// Workers wait here for a new job (or shutdown).
+    job_ready: Condvar,
+    /// Submitters wait here for job completion (or a free slot).
+    job_done: Condvar,
+}
+
+/// Everything one fork-join job shares with the workers, borrowed from
+/// the submitting call's stack frame.
+struct JobCtx<'a, S, R, F> {
+    f: &'a F,
+    /// `states[w]` for worker `w < active`; workers never alias.
+    states: *mut S,
+    /// One slot per task; each task index is written exactly once.
+    results: *mut Option<R>,
+    queues: &'a [Mutex<VecDeque<usize>>],
+    /// Workers with index `>= active` have no queue and do nothing.
+    active: usize,
+    abort: &'a AtomicBool,
+    panic_payload: &'a Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// The erased worker entry point for one job. Catches panics itself so
+/// the persistent worker thread survives them.
+unsafe fn job_entry<S, R, F>(ctx: *const (), w: usize)
+where
+    S: Send,
+    R: Send,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let ctx = &*(ctx as *const JobCtx<'_, S, R, F>);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if w >= ctx.active {
+            return;
+        }
+        // SAFETY: worker `w` is the only reader/writer of `states[w]`,
+        // and the submitter holds the `&mut [S]` borrow for the whole
+        // job, so no other access exists.
+        let state = &mut *ctx.states.add(w);
+        while !ctx.abort.load(Ordering::Relaxed) {
+            let Some(task) = next_task(ctx.queues, w) else {
+                break;
+            };
+            let r = (ctx.f)(state, task);
+            // SAFETY: the queues dispense each task index exactly once,
+            // so this slot is written by exactly one worker.
+            *ctx.results.add(task) = Some(r);
+        }
+    }));
+    if let Err(e) = outcome {
+        ctx.abort.store(true, Ordering::Relaxed);
+        ctx.panic_payload.lock().unwrap().get_or_insert(e);
+    }
+}
+
+fn pool_worker(shared: &PoolShared, w: usize) {
+    IN_WORKER.with(|g| g.set(true));
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock().unwrap();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                match slot.job {
+                    Some(job) if slot.epoch != seen => {
+                        seen = slot.epoch;
+                        break job;
+                    }
+                    _ => slot = shared.job_ready.wait(slot).unwrap(),
+                }
+            }
+        };
+        // SAFETY: the submitter blocks until `remaining` reaches zero,
+        // which we only signal after this call returns, so the ctx and
+        // everything it borrows outlive the dereference. `job_entry`
+        // catches panics internally and never unwinds.
+        unsafe { (job.call)(job.ctx, w) };
+        let mut slot = shared.slot.lock().unwrap();
+        slot.remaining -= 1;
+        if slot.remaining == 0 {
+            slot.job = None;
+            shared.job_done.notify_all();
+        }
+    }
+}
+
+/// A persistent fork-join pool: worker threads are created **once**
+/// and reused across any number of [`Pool::run`] / [`Pool::run_states`]
+/// calls, instead of being re-spawned per fork-join like the scoped
+/// [`par_run`] family.
+///
+/// Scheduling, result ordering, panic propagation, and the
+/// nested-scope rejection are identical to [`par_run_states`]; the
+/// only difference is thread lifetime. A flow session builds one pool
+/// at open time and drives its profiling and every exploration sweep
+/// through it.
+///
+/// `Pool::new(n)` with `n <= 1` spawns no threads at all — every run
+/// executes inline on the caller (the serial path).
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Spawn a pool with `threads` persistent workers (`<= 1` spawns
+    /// none; runs execute inline on the caller).
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            slot: Mutex::new(JobSlot {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            job_done: Condvar::new(),
+        });
+        let handles = if threads >= 2 {
+            (0..threads)
+                .map(|w| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || pool_worker(&shared, w))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Pool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Build a pool sized by a [`Parallelism`] setting.
+    pub fn with_parallelism(par: Parallelism) -> Pool {
+        Pool::new(par.worker_count())
+    }
+
+    /// The worker count this pool resolves to (1 = inline execution).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(0..tasks)` on the pool, returning results in task order.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`par_run`]: re-raises the first task panic on
+    /// the caller, and rejects parallel runs from inside a pool worker.
+    pub fn run<R, F>(&self, tasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let mut states: Vec<()> = vec![(); self.threads.min(tasks.max(1))];
+        self.run_states(tasks, &mut states, |(), i| f(i))
+    }
+
+    /// Like [`par_run_states`], but on the persistent workers: worker
+    /// `w` borrows `states[w]` mutably for every task it executes, and
+    /// the states survive between calls.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`par_run_states`].
+    pub fn run_states<S, R, F>(&self, tasks: usize, states: &mut [S], f: F) -> Vec<R>
+    where
+        S: Send,
+        R: Send,
+        F: Fn(&mut S, usize) -> R + Sync,
+    {
+        if tasks == 0 {
+            return Vec::new();
+        }
+        let active = self.threads.min(tasks);
+        assert!(
+            states.len() >= active,
+            "Pool::run_states needs one state per worker ({} < {active})",
+            states.len()
+        );
+        if self.handles.is_empty() || active <= 1 {
+            // Inline serial path; legal inside a worker.
+            let state = &mut states[0];
+            return (0..tasks).map(|i| f(state, i)).collect();
+        }
+        assert!(
+            !in_worker(),
+            "nested blasys-par parallel scope: a pool task attempted to start \
+             another parallel run (use the serial path for inner maps)"
+        );
+
+        // Same seeding as `par_run_states`: contiguous chunks per
+        // active worker, stealing drains imbalance.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..active)
+            .map(|w| {
+                let lo = tasks * w / active;
+                let hi = tasks * (w + 1) / active;
+                Mutex::new((lo..hi).collect())
+            })
+            .collect();
+        let abort = AtomicBool::new(false);
+        let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let mut results: Vec<Option<R>> = (0..tasks).map(|_| None).collect();
+
+        let ctx = JobCtx {
+            f: &f,
+            states: states.as_mut_ptr(),
+            results: results.as_mut_ptr(),
+            queues: &queues,
+            active,
+            abort: &abort,
+            panic_payload: &panic_payload,
+        };
+
+        {
+            let mut slot = self.shared.slot.lock().unwrap();
+            // Another thread may be mid-job on this pool; wait for the
+            // slot to free before installing ours.
+            while slot.job.is_some() {
+                slot = self.shared.job_done.wait(slot).unwrap();
+            }
+            slot.epoch += 1;
+            let my_epoch = slot.epoch;
+            slot.remaining = self.handles.len();
+            slot.job = Some(Job {
+                call: job_entry::<S, R, F>,
+                ctx: &ctx as *const JobCtx<'_, S, R, F> as *const (),
+            });
+            self.shared.job_ready.notify_all();
+            // Our job is done when the slot is free again at our epoch
+            // (a later submitter can only install after ours cleared).
+            while !(slot.epoch > my_epoch || slot.job.is_none()) {
+                slot = self.shared.job_done.wait(slot).unwrap();
+            }
+        }
+
+        if let Some(payload) = panic_payload.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every task produced a result"))
+            .collect()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock().unwrap();
+            slot.shutdown = true;
+            self.shared.job_ready.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// How a flow phase executes its parallel map: spawn scoped workers
+/// for this one call ([`par_run_states`]), or reuse a persistent
+/// [`Pool`]. Phases written against `Workers` run identically on
+/// either — the pool only changes thread lifetime, never results.
+#[derive(Debug, Clone, Copy)]
+pub enum Workers<'a> {
+    /// Scoped threads spawned and joined inside the call.
+    Transient(Parallelism),
+    /// A caller-owned persistent pool.
+    Pooled(&'a Pool),
+}
+
+impl Workers<'_> {
+    /// The worker count this execution context resolves to.
+    pub fn worker_count(&self) -> usize {
+        match self {
+            Workers::Transient(p) => p.worker_count(),
+            Workers::Pooled(pool) => pool.threads(),
+        }
+    }
+
+    /// Run `f(0..tasks)`, returning results in task order. Same
+    /// contract as [`par_run`].
+    pub fn run<R, F>(&self, tasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        match self {
+            Workers::Transient(p) => par_run(*p, tasks, f),
+            Workers::Pooled(pool) => pool.run(tasks, f),
+        }
+    }
+
+    /// Run with caller-owned per-worker states. Same contract as
+    /// [`par_run_states`].
+    pub fn run_states<S, R, F>(&self, tasks: usize, states: &mut [S], f: F) -> Vec<R>
+    where
+        S: Send,
+        R: Send,
+        F: Fn(&mut S, usize) -> R + Sync,
+    {
+        match self {
+            Workers::Transient(p) => par_run_states(*p, tasks, states, f),
+            Workers::Pooled(pool) => pool.run_states(tasks, states, f),
+        }
+    }
+}
+
+impl From<Parallelism> for Workers<'static> {
+    fn from(par: Parallelism) -> Workers<'static> {
+        Workers::Transient(par)
+    }
 }
 
 /// Pop from our own deque's front, else steal from the back of the
@@ -467,6 +826,98 @@ mod tests {
         assert_eq!(Parallelism::Threads(7).worker_count(), 7);
         assert_eq!(Parallelism::Threads(0).worker_count(), 1);
         assert!(Parallelism::Auto.worker_count() >= 1);
+    }
+
+    #[test]
+    fn pool_matches_scoped_results_across_many_jobs() {
+        let pool = Pool::new(3);
+        for round in 0..5usize {
+            let got = pool.run(37, |i| i * i + round);
+            let want: Vec<usize> = (0..37).map(|i| i * i + round).collect();
+            assert_eq!(got, want, "round {round}");
+        }
+        // Zero tasks and more workers than tasks behave like par_run.
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run(2, |i| i + 1), vec![1, 2]);
+    }
+
+    #[test]
+    fn pool_states_survive_between_jobs() {
+        let pool = Pool::new(3);
+        let mut states = vec![0usize; 3];
+        for round in 1..=4 {
+            let got = pool.run_states(30, &mut states, |st, i| {
+                *st += 1;
+                i
+            });
+            assert_eq!(got, (0..30).collect::<Vec<_>>(), "round {round}");
+            assert_eq!(states.iter().sum::<usize>(), 30 * round);
+        }
+    }
+
+    #[test]
+    fn pool_serial_runs_inline_without_threads() {
+        let pool = Pool::new(1);
+        let caller = std::thread::current().id();
+        let ids = pool.run(4, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn pool_panics_propagate_and_workers_survive() {
+        let pool = Pool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, |i| {
+                if i == 3 {
+                    panic!("pool task three exploded");
+                }
+                i
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("pool task three exploded"), "payload: {msg}");
+        // The workers survived the panic and serve the next job.
+        assert_eq!(pool.run(4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pool_rejects_nested_parallel_runs() {
+        let pool = Pool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, |i| par_run(Parallelism::Threads(2), 4, move |j| i + j))
+        }));
+        let payload = caught.expect_err("nested parallel scope must panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("nested"), "payload: {msg}");
+        // Serial inner maps remain legal on pool workers.
+        let got = pool.run(4, |i| par_run(Parallelism::Serial, 3, move |j| i * 10 + j));
+        assert_eq!(got[2], vec![20, 21, 22]);
+    }
+
+    #[test]
+    fn workers_enum_runs_both_paths_identically() {
+        let pool = Pool::new(4);
+        let want: Vec<usize> = (0..50).map(|i| i * 7).collect();
+        for workers in [
+            Workers::Transient(Parallelism::Threads(4)),
+            Workers::Pooled(&pool),
+        ] {
+            assert_eq!(workers.run(50, |i| i * 7), want);
+            assert!(workers.worker_count() >= 4);
+            let mut states = vec![0usize; workers.worker_count().min(50)];
+            assert_eq!(workers.run_states(50, &mut states, |_, i| i * 7), want);
+        }
     }
 
     #[test]

@@ -24,7 +24,16 @@ fn main() {
         nl.num_outputs()
     );
 
-    let result = Blasys::new().samples(20_000).run(&nl);
+    let result = match Blasys::new()
+        .samples(blasys_bench::sample_count_or(20_000))
+        .try_run(&nl)
+    {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let base = result.baseline_metrics();
 
     println!("\n budget | achieved err | area saved | mean pixel error");

@@ -32,7 +32,16 @@ fn main() {
         nl.depth()
     );
 
-    let result = Blasys::new().samples(10_000).run(&nl);
+    let result = match Blasys::new()
+        .samples(blasys_bench::sample_count_or(10_000))
+        .try_run(&nl)
+    {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
 
     // The step-0 synthesis is formally equivalent to the input design.
     let exact = result.synthesize_step(0);

@@ -26,10 +26,19 @@ fn main() {
     // 2. Run the BLASYS flow: decompose into k x m windows, factorize
     //    every window at every degree, then greedily walk the
     //    accuracy/complexity trade-off (Algorithm 1 of the paper).
-    let result = Blasys::new()
+    //    `try_run` surfaces flow errors instead of panicking (`run()`
+    //    is the panicking convenience wrapper).
+    let result = match Blasys::new()
         .limits(10, 10) // the paper's k = m = 10
-        .samples(10_000) // Monte-Carlo accuracy samples
-        .run(&nl);
+        .samples(blasys_bench::sample_count_or(10_000)) // BLASYS_SAMPLES override for CI
+        .try_run(&nl)
+    {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
 
     // 3. Walk the recorded trajectory: each point is one committed
     //    approximation step.

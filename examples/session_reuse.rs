@@ -1,0 +1,118 @@
+//! Staged sessions: profile a circuit **once**, explore it **many
+//! times** — with streaming progress, deterministic probe budgets, and
+//! cooperative cancellation.
+//!
+//! Run: `cargo run --example session_reuse --release`
+//!
+//! The session lifecycle is doc-tested on
+//! [`blasys_core::session`](blasys_repro::blasys::session); the
+//! command-line equivalents are `blasys sweep --progress` and
+//! `blasys batch --thresholds` (see `docs/USAGE.md`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use blasys_repro::blasys::session::{
+    CancelToken, ExploreSpec, FlowConfig, FlowObserver, FlowSession, FlowStage,
+};
+use blasys_repro::blasys::{QorMetric, TrajectoryPoint};
+use blasys_repro::circuits::multiplier;
+
+/// A progress observer that also counts stage events — the proof that
+/// the expensive stages run exactly once per session.
+#[derive(Default)]
+struct Stages {
+    profile_passes: AtomicUsize,
+    explorations: AtomicUsize,
+}
+
+impl FlowObserver for Stages {
+    fn on_stage_start(&self, stage: FlowStage) {
+        match stage {
+            FlowStage::Profile => self.profile_passes.fetch_add(1, Ordering::Relaxed),
+            FlowStage::Explore => self.explorations.fetch_add(1, Ordering::Relaxed),
+            FlowStage::Decompose => 0,
+        };
+        println!("  [observer] {stage}: start");
+    }
+
+    fn on_trajectory_point(&self, point: &TrajectoryPoint) {
+        if point.step.is_multiple_of(8) {
+            println!(
+                "  [observer]   step {:3}: avg rel err {:.5}",
+                point.step, point.qor.avg_relative
+            );
+        }
+    }
+}
+
+fn main() {
+    let nl = multiplier(6);
+    let samples = blasys_bench::sample_count_or(10_000);
+    println!("Mult6: {} gates, {} samples", nl.gate_count(), samples);
+
+    let observer = Arc::new(Stages::default());
+    // Decompose + profile once. `open` validates like `try_run`, so
+    // errors surface here instead of panicking.
+    let session = FlowSession::open(
+        &nl,
+        FlowConfig::new()
+            .samples(samples)
+            .observer(observer.clone()),
+    )
+    .and_then(FlowSession::profile)
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "profiled {} windows once; now exploring three ways\n",
+        session.partition().len()
+    );
+
+    // 1. Threshold query per metric — each exploration reuses the
+    //    cached profiles and stimulus.
+    for metric in QorMetric::ALL {
+        let spec = ExploreSpec::new().metric(metric).threshold(0.05);
+        let exploration = session.explore(&spec);
+        println!(
+            "{metric:?}: {} steps within 5% ({} probes, stopped: {:?})\n",
+            exploration.trajectory().len() - 1,
+            exploration.probes(),
+            exploration.stop_reason()
+        );
+    }
+
+    // 2. A deterministic probe budget: a capped run walks a prefix of
+    //    the uncapped trajectory — same machine or not.
+    let full = session.explore(&ExploreSpec::new());
+    let capped = session.explore(&ExploreSpec::new().probe_budget(full.probes() / 3));
+    println!(
+        "budget: full walk {} points / {} probes; capped walk {} points / {} probes ({:?})\n",
+        full.trajectory().len(),
+        full.probes(),
+        capped.trajectory().len(),
+        capped.probes(),
+        capped.stop_reason()
+    );
+
+    // 3. Cooperative cancellation from the outside (here: another
+    //    thread); the partial trajectory is still a valid result.
+    let token = CancelToken::new();
+    let canceller = token.clone();
+    std::thread::spawn(move || canceller.cancel());
+    let cancelled = session.explore(&ExploreSpec::new().cancel(token));
+    let result = session.result(&cancelled);
+    println!(
+        "cancelled after {} points ({:?}); partial result still synthesizes: {:.1} um^2\n",
+        cancelled.trajectory().len(),
+        cancelled.stop_reason(),
+        result.metrics_step(result.trajectory().len() - 1).area_um2
+    );
+
+    println!(
+        "stage events: {} profile pass(es), {} explorations",
+        observer.profile_passes.load(Ordering::Relaxed),
+        observer.explorations.load(Ordering::Relaxed)
+    );
+}

@@ -18,11 +18,22 @@ fn main() {
     let nl = multiplier(6);
     println!("Mult6: {} gates", nl.gate_count());
 
+    let samples = blasys_bench::sample_count_or(10_000);
     for (label, weighting) in [
         ("uniform  (UQoR)", OutputWeighting::Uniform),
         ("weighted (WQoR)", OutputWeighting::ValueInfluence),
     ] {
-        let result = Blasys::new().samples(10_000).weighting(weighting).run(&nl);
+        let result = match Blasys::new()
+            .samples(samples)
+            .weighting(weighting)
+            .try_run(&nl)
+        {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
         let curve = tradeoff_curve(result.trajectory(), QorMetric::AvgRelative);
         let front = pareto_front(&curve);
         // Summarize: smallest normalized area reachable within a few
