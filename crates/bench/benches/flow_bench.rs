@@ -3,9 +3,12 @@
 //! hybrid vs pure-ASSO profiling. Uses a small multiplier so the whole
 //! suite stays fast.
 
+use std::sync::Arc;
+
 use blasys_bmf::Algebra;
 use blasys_circuits::multiplier;
 use blasys_core::{Blasys, Parallelism};
+use blasys_obs::Registry;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn small_flow() -> Blasys {
@@ -33,6 +36,14 @@ fn bench_flow(c: &mut Criterion) {
     // trajectory is bit-identical; only wall-clock differs).
     g.bench_function("mult4_no_prune", |b| {
         b.iter(|| small_flow().prune(false).run(&nl))
+    });
+
+    // Observability overhead: same flow with a live metrics registry
+    // attached (engine/stage counters hot on every probe). Compare
+    // against `mult4_exhaustive` — the delta is the instrumentation
+    // cost quoted in docs/USAGE.md.
+    g.bench_function("mult4_instrumented", |b| {
+        b.iter(|| small_flow().metrics(Arc::new(Registry::new())).run(&nl))
     });
 
     let nl6 = multiplier(6);

@@ -21,9 +21,11 @@
 //! **bit-identical** (same clusters, same degrees, same QoR reports):
 //! pruning and threading are pure wall-clock optimizations.
 //!
-//! Usage: `qor_bench [FILE.blif ...] [--reps N]`, plus the standard
-//! `BLASYS_SAMPLES` knob (default 10 000 samples; default circuits
-//! `benchmarks/mult4.blif` and `benchmarks/butterfly4.blif`).
+//! Usage: `qor_bench [FILE.blif ...] [--reps N] [--json PATH]`, plus
+//! the standard `BLASYS_SAMPLES` knob (default 10 000 samples; default
+//! circuits `benchmarks/mult4.blif` and `benchmarks/butterfly4.blif`).
+//! `--json` writes every measurement (name, samples, threads,
+//! wall-ns, speedup) as a stable JSON document (`-` = stdout).
 
 use std::time::Instant;
 
@@ -32,7 +34,7 @@ use blasys_core::explore::{explore, ExploreConfig, StopCriterion};
 use blasys_core::montecarlo::{Evaluator, McConfig};
 use blasys_core::profile::{profile_partition, ProfileConfig};
 use blasys_core::qor::QorMetric;
-use blasys_core::{Parallelism, TrajectoryPoint};
+use blasys_core::{Json, Parallelism, TrajectoryPoint};
 use blasys_decomp::{decompose, DecompConfig};
 use blasys_logic::blif::from_blif;
 use blasys_logic::Netlist;
@@ -62,8 +64,9 @@ fn assert_identical(a: &[TrajectoryPoint], b: &[TrajectoryPoint], what: &str) {
     }
 }
 
-/// Benchmark one circuit; returns the sweep speedup pruned/reference.
-fn bench_circuit(path: &str, samples: usize, reps: usize) -> f64 {
+/// Benchmark one circuit; returns the sweep speedup pruned/reference
+/// plus a JSON record of every measurement for `--json`.
+fn bench_circuit(path: &str, samples: usize, reps: usize) -> (f64, Json) {
     let nl = load(path);
     let part = decompose(&nl, &DecompConfig::default());
     let mc = McConfig {
@@ -164,13 +167,28 @@ fn bench_circuit(path: &str, samples: usize, reps: usize) -> f64 {
     row("reference", t_ref, false);
     row("packed", t_packed, false);
     row("pruned", t_pruned, true);
+    let sweep_json = |name: &str, t: f64| {
+        Json::obj([
+            ("name", Json::str(name)),
+            ("samples", Json::UInt(ev.samples() as u64)),
+            ("threads", Json::UInt(1)),
+            ("wall_ns", Json::UInt((t * 1e9) as u64)),
+            ("speedup", Json::Num(t_ref / t)),
+        ])
+    };
+    let mut measurements = vec![
+        sweep_json("sweep/reference", t_ref),
+        sweep_json("sweep/packed", t_packed),
+        sweep_json("sweep/pruned", t_pruned),
+    ];
 
     // Exploration: pruning off/on, serial and 4 workers — identical
     // trajectories throughout (same committed tables, same QoR).
     let mut results: Vec<(String, Vec<TrajectoryPoint>)> = Vec::new();
-    for (par, par_name) in [
-        (Parallelism::Serial, "serial"),
-        (Parallelism::Threads(4), "4 threads"),
+    let mut t_explore_serial = 0.0f64;
+    for (par, workers, par_name) in [
+        (Parallelism::Serial, 1u64, "serial"),
+        (Parallelism::Threads(4), 4, "4 threads"),
     ] {
         for prune in [false, true] {
             let mut ev = Evaluator::new(&nl, &part, &mc);
@@ -187,6 +205,16 @@ fn bench_circuit(path: &str, samples: usize, reps: usize) -> f64 {
                 t * 1e3,
                 traj.len() - 1,
             );
+            if workers == 1 && !prune {
+                t_explore_serial = t;
+            }
+            measurements.push(Json::obj([
+                ("name", Json::str(format!("explore/prune={prune}"))),
+                ("samples", Json::UInt(ev.samples() as u64)),
+                ("threads", Json::UInt(workers)),
+                ("wall_ns", Json::UInt((t * 1e9) as u64)),
+                ("speedup", Json::Num(t_explore_serial / t)),
+            ]));
             results.push((format!("{par_name}/prune={prune}"), traj));
         }
     }
@@ -199,13 +227,20 @@ fn bench_circuit(path: &str, samples: usize, reps: usize) -> f64 {
         t_ref / t_packed,
         t_ref / t_pruned,
     );
-    t_ref / t_pruned
+    let doc = Json::obj([
+        ("circuit", Json::str(path)),
+        ("clusters", Json::UInt(n as u64)),
+        ("reps", Json::UInt(reps as u64)),
+        ("benchmarks", Json::Arr(measurements)),
+    ]);
+    (t_ref / t_pruned, doc)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files: Vec<String> = Vec::new();
     let mut reps = 20usize;
+    let mut json_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -214,6 +249,9 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--reps needs a count");
+            }
+            "--json" => {
+                json_out = Some(it.next().expect("--json needs a path").to_string());
             }
             f => files.push(f.to_string()),
         }
@@ -226,8 +264,25 @@ fn main() {
     }
     let samples = sample_count();
     let mut worst: f64 = f64::INFINITY;
+    let mut circuits = Vec::new();
     for f in &files {
-        worst = worst.min(bench_circuit(f, samples, reps));
+        let (speedup, doc) = bench_circuit(f, samples, reps);
+        worst = worst.min(speedup);
+        circuits.push(doc);
     }
     println!("\nworst-case sweep speedup across circuits: {worst:.2}x");
+    if let Some(path) = json_out {
+        let doc = Json::obj([
+            ("samples", Json::UInt(samples as u64)),
+            ("circuits", Json::Arr(circuits)),
+            ("worst_sweep_speedup", Json::Num(worst)),
+        ]);
+        let text = doc.pretty();
+        if path == "-" {
+            print!("{text}");
+        } else {
+            std::fs::write(&path, &text).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("wrote benchmark results to {path}");
+        }
+    }
 }

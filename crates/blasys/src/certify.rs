@@ -17,7 +17,9 @@
 
 use blasys_logic::equiv::{check_equiv, Backend, EquivConfig, Equivalence};
 use blasys_logic::Netlist;
-use blasys_sat::{certify_worst_absolute, ErrorCertificate};
+use blasys_sat::{
+    certify_worst_absolute, certify_worst_absolute_observed, ErrorCertificate, SolverStats,
+};
 
 /// A SAT certificate attached to one trajectory step.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +44,24 @@ impl CertifiedPoint {
         CertifiedPoint {
             step,
             certificate: certify_worst_absolute(golden, synthesized),
+            sampled_worst_absolute: sampled,
+        }
+    }
+
+    /// Like [`CertifiedPoint::certify`], streaming each SAT probe's
+    /// solver statistics (conflicts, restarts, learned clauses) to
+    /// `on_probe` as the binary search issues it — the hook the CLI
+    /// uses to fill `sat.*` histograms.
+    pub fn certify_observed(
+        step: usize,
+        golden: &Netlist,
+        synthesized: &Netlist,
+        sampled: u64,
+        on_probe: &mut dyn FnMut(&SolverStats),
+    ) -> CertifiedPoint {
+        CertifiedPoint {
+            step,
+            certificate: certify_worst_absolute_observed(golden, synthesized, on_probe),
             sampled_worst_absolute: sampled,
         }
     }

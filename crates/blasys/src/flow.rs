@@ -83,10 +83,18 @@ impl Blasys {
     }
 
     /// Attach a [`FlowObserver`] streaming stage, per-window, and
-    /// per-trajectory-point progress out of the run (see
-    /// [`FlowConfig::observer`]).
-    pub fn observer(mut self, observer: Arc<dyn FlowObserver>) -> Blasys {
+    /// per-trajectory-point progress out of the run. Takes any
+    /// observer by value — pass an `Arc<O>` clone to keep a readable
+    /// handle (see [`FlowConfig::observer`]).
+    pub fn observer(mut self, observer: impl FlowObserver + 'static) -> Blasys {
         self.config = self.config.observer(observer);
+        self
+    }
+
+    /// Attach a metrics registry collecting `flow.*`, `qor.*`, and
+    /// `pool.*` counters over the run (see [`FlowConfig::metrics`]).
+    pub fn metrics(mut self, registry: Arc<blasys_obs::Registry>) -> Blasys {
+        self.config = self.config.metrics(registry);
         self
     }
 
@@ -528,9 +536,25 @@ impl BlasysResult {
     ///
     /// Panics if `step` is out of range.
     pub fn certify_step(&mut self, step: usize) -> CertifiedPoint {
+        self.certify_step_observed(step, &mut |_| {})
+    }
+
+    /// Like [`BlasysResult::certify_step`], streaming each SAT probe's
+    /// solver statistics to `on_probe` (see
+    /// [`CertifiedPoint::certify_observed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is out of range.
+    pub fn certify_step_observed(
+        &mut self,
+        step: usize,
+        on_probe: &mut dyn FnMut(&blasys_sat::SolverStats),
+    ) -> CertifiedPoint {
         let synthesized = self.synthesize_step(step);
         let sampled = self.trajectory[step].qor.worst_absolute;
-        let point = CertifiedPoint::certify(step, &self.original, &synthesized, sampled);
+        let point =
+            CertifiedPoint::certify_observed(step, &self.original, &synthesized, sampled, on_probe);
         self.trajectory[step].qor.certified_worst_absolute = Some(point.certificate.worst_absolute);
         point
     }

@@ -76,14 +76,14 @@
 //! [`Blasys`] reruns the whole pipeline per call. When several
 //! explorations of the **same circuit** are needed — different
 //! metrics, thresholds, prune settings — open a staged
-//! [`FlowSession`](session::FlowSession) instead: decomposition, the
+//! [`FlowSession`] instead: decomposition, the
 //! per-window BMF profiles, the Monte-Carlo stimulus, and the worker
 //! pool are built once and shared by every
 //! [`explore`](session::FlowSession::explore) call, each of which is
 //! bit-identical to a fresh one-shot flow. Sessions also stream
-//! progress ([`FlowObserver`](session::FlowObserver)), stop
-//! cooperatively ([`CancelToken`](session::CancelToken)), and respect
-//! probe/wall budgets ([`Budget`](session::Budget)):
+//! progress ([`FlowObserver`]), stop
+//! cooperatively ([`CancelToken`]), and respect
+//! probe/wall budgets ([`Budget`]):
 //!
 //! ```
 //! use blasys_core::session::{ExploreSpec, FlowConfig, FlowSession};
@@ -112,6 +112,7 @@ pub mod certify;
 pub mod explore;
 pub mod flow;
 pub mod montecarlo;
+pub mod obs;
 pub mod pareto;
 pub mod profile;
 pub mod qor;
@@ -123,9 +124,10 @@ pub use certify::{prove_exact, CertifiedPoint};
 pub use explore::{ExploreConfig, StopCriterion, TrajectoryPoint};
 pub use flow::{Blasys, BlasysResult, FlowError};
 pub use montecarlo::{Evaluator, McConfig, ProbeState, Signal, TableNetwork};
+pub use obs::{Observers, QorCounters, TraceObserver};
 pub use profile::{profile_partition, SubcircuitProfile, Variant};
 pub use qor::{QorMetric, QorReport};
-pub use report::{FlowReport, Json};
+pub use report::{snapshot_json, FlowReport, Json};
 pub use session::{
     Budget, CancelToken, Exploration, ExploreSpec, FlowConfig, FlowObserver, FlowSession,
     FlowStage, StopReason,

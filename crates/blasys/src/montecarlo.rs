@@ -63,6 +63,9 @@ use rand::{Rng, SeedableRng};
 use blasys_decomp::{cluster_truth_table, Partition};
 use blasys_logic::{Netlist, NodeId, Simulator};
 
+use std::sync::Arc;
+
+use crate::obs::QorCounters;
 use crate::qor::{QorAccumulator, QorMetric, QorReport};
 
 /// In-place 64×64 bit-matrix transpose (Hacker's Delight §7-3, scaled
@@ -406,6 +409,36 @@ pub struct Evaluator {
     /// Reusable per-block scratch for the `&mut self` recompute path
     /// (commit); probes use their `ProbeState`'s scratch instead.
     scratch_out: Vec<u64>,
+    /// Optional engine counters ([`QorCounters`]), shared by every
+    /// clone of this evaluator so a session's explorations accumulate
+    /// into one block. `None` (the default) keeps the probe path free
+    /// of atomic traffic.
+    counters: Option<Arc<QorCounters>>,
+}
+
+/// Per-probe counter tallies, accumulated in locals inside the block
+/// loop and flushed to the shared [`QorCounters`] (if any) exactly
+/// once per probe — a handful of atomic adds instead of one per
+/// (cluster, block).
+#[derive(Default)]
+struct ProbeTally {
+    cone_hits: u64,
+    cone_misses: u64,
+    lanes: u64,
+}
+
+impl ProbeTally {
+    #[inline]
+    fn flush(self, counters: Option<&QorCounters>, pruned: bool) {
+        let Some(c) = counters else { return };
+        c.probes.inc();
+        if pruned {
+            c.probes_pruned.inc();
+        }
+        c.cone_hits.add(self.cone_hits);
+        c.cone_misses.add(self.cone_misses);
+        c.lanes.add(self.lanes);
+    }
 }
 
 // The parallel candidate sweep shares `&Evaluator` across worker
@@ -501,6 +534,7 @@ impl Evaluator {
             samples,
             output_bits: num_pos,
             scratch_out: Vec::new(),
+            counters: None,
         };
         ev.recompute_all();
         let all: Vec<usize> = (0..ev.network.po_sigs.len()).collect();
@@ -520,6 +554,16 @@ impl Evaluator {
     /// Immutable access to the table network.
     pub fn network(&self) -> &TableNetwork {
         &self.network
+    }
+
+    /// Attach engine counters (`qor.*`). Clones share the same block,
+    /// so a session's pristine evaluator attaches once and every
+    /// per-exploration clone accumulates into it. Probe-path cost with
+    /// counters attached is a handful of atomic adds *per probe* (the
+    /// per-block tallies are accumulated in locals); with `None` it is
+    /// a single branch.
+    pub fn set_counters(&mut self, counters: Arc<QorCounters>) {
+        self.counters = Some(counters);
     }
 
     /// A probe overlay sized for this evaluator. Build one per thread
@@ -750,6 +794,9 @@ impl Evaluator {
         state.epoch += 1;
         let epoch = state.epoch;
         let blocks = self.blocks;
+        // Counter tallies stay in locals until the probe resolves; the
+        // zero-observability path pays only the final `None` check.
+        let mut tally = ProbeTally::default();
         let cone_clusters = self.network.downstream(cluster);
         let cone = &self.network.po_cone[cluster];
         let keep = !cone.mask;
@@ -793,12 +840,14 @@ impl Evaluator {
                     d
                 };
                 if delta == 0 {
+                    tally.cone_hits += 1;
                     for o in 0..c.num_outputs {
                         overlay[ci][o * blocks + b] = self.values[ci][o][b];
                     }
                     changed[ci] = 0;
                     continue;
                 }
+                tally.cone_misses += 1;
                 let use_rows: &[u16] = if ci == cluster { rows } else { &c.rows };
                 let resolve = |sig| match sig {
                     Signal::ClusterOut { idx, out } if valid[idx] == epoch => {
@@ -810,6 +859,7 @@ impl Evaluator {
                 let m = c.num_outputs;
                 let cnt = delta.count_ones() as usize;
                 if ci != cluster && cnt * (k + m) < 768 {
+                    tally.lanes += cnt as u64;
                     // Sparse update: the cluster's table is unchanged
                     // and only `cnt` lanes of its inputs moved, so
                     // start from the committed words and re-evaluate
@@ -836,6 +886,7 @@ impl Evaluator {
                         }
                     }
                 } else {
+                    tally.lanes += 64;
                     eval_block(&c.inputs, use_rows, resolve, &mut out[..m]);
                 }
                 let mut ch = 0u64;
@@ -894,9 +945,11 @@ impl Evaluator {
             }
             let b_now = bound();
             if b_now.is_finite() && acc.partial_value(metric, self.samples) > b_now {
+                tally.flush(self.counters.as_deref(), true);
                 return None;
             }
         }
+        tally.flush(self.counters.as_deref(), false);
         let report = acc.finish();
         debug_assert_eq!(report.samples, self.samples);
         Some(report)
@@ -946,6 +999,9 @@ impl Evaluator {
     /// values of the downstream cone and splices the cone POs'
     /// refreshed bits into the packed per-sample cache).
     pub fn commit(&mut self, cluster: usize, rows: Vec<u16>) {
+        if let Some(c) = &self.counters {
+            c.commits.inc();
+        }
         self.network.set_table(cluster, rows);
         let affected: Vec<usize> = self.network.downstream(cluster).to_vec();
         for ci in affected {

@@ -151,6 +151,7 @@ pub(crate) fn profile_partition_ctx(
         if ctx.cancelled() || ctx.expired() {
             return None;
         }
+        ctx.window_start(ci);
         let cluster = &partition.clusters()[ci];
         let tt = cluster_truth_table(nl, cluster);
         let reference = extract_cluster_netlist(nl, cluster, &format!("s{ci}_ref"));

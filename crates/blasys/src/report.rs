@@ -179,6 +179,57 @@ pub fn metrics_json(m: &DesignMetrics) -> Json {
     ])
 }
 
+/// Project a metrics [`Snapshot`](blasys_obs::Snapshot) into the
+/// report JSON model: one object keyed by metric name, counters and
+/// gauges as integers, histograms as
+/// `{"count": .., "sum": .., "buckets": [{"le": bound|null, "count": ..}]}`.
+pub fn snapshot_json(snapshot: &blasys_obs::Snapshot) -> Json {
+    use blasys_obs::SnapshotValue;
+    Json::Obj(
+        snapshot
+            .entries
+            .iter()
+            .map(|e| {
+                let value = match &e.value {
+                    SnapshotValue::Counter(v) => Json::UInt(*v),
+                    SnapshotValue::Gauge(v) => {
+                        if *v >= 0 {
+                            Json::UInt(*v as u64)
+                        } else {
+                            Json::Num(*v as f64)
+                        }
+                    }
+                    SnapshotValue::Histogram(h) => Json::obj([
+                        ("count", Json::UInt(h.count)),
+                        ("sum", Json::UInt(h.sum)),
+                        (
+                            "buckets",
+                            Json::Arr(
+                                h.buckets
+                                    .iter()
+                                    .map(|(le, count)| {
+                                        Json::obj([
+                                            (
+                                                "le",
+                                                match le {
+                                                    Some(b) => Json::UInt(*b),
+                                                    None => Json::Null,
+                                                },
+                                            ),
+                                            ("count", Json::UInt(*count)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                };
+                (e.name.clone(), value)
+            })
+            .collect(),
+    )
+}
+
 /// The QoR report of one completed flow run, ready for JSON emission —
 /// the payload behind `blasys run --report`.
 #[derive(Debug, Clone)]
@@ -205,6 +256,10 @@ pub struct FlowReport {
     pub chosen: DesignMetrics,
     /// Gate count of the original (pre-resynthesis) netlist.
     pub original_gates: usize,
+    /// Optional metrics snapshot (see [`snapshot_json`]), attached via
+    /// [`FlowReport::with_metrics`] and emitted under the `"metrics"`
+    /// key.
+    pub metrics: Option<Json>,
 }
 
 impl FlowReport {
@@ -243,13 +298,21 @@ impl FlowReport {
             baseline: result.baseline_metrics(),
             chosen,
             original_gates: result.original().gate_count(),
+            metrics: None,
         }
+    }
+
+    /// Embed a metrics registry snapshot in the report (rendered by
+    /// [`snapshot_json`]; appears as the final `"metrics"` key).
+    pub fn with_metrics(mut self, snapshot: &blasys_obs::Snapshot) -> FlowReport {
+        self.metrics = Some(snapshot_json(snapshot));
+        self
     }
 
     /// Render the report as a JSON object.
     pub fn to_json(&self) -> Json {
         let savings = self.chosen.savings_vs(&self.baseline);
-        Json::obj([
+        let mut json = Json::obj([
             ("circuit", Json::str(self.circuit.clone())),
             ("num_inputs", Json::UInt(self.num_inputs as u64)),
             ("num_outputs", Json::UInt(self.num_outputs as u64)),
@@ -275,7 +338,13 @@ impl FlowReport {
                 ]),
             ),
             ("original_gates", Json::UInt(self.original_gates as u64)),
-        ])
+        ]);
+        if let Some(metrics) = &self.metrics {
+            if let Json::Obj(fields) = &mut json {
+                fields.push(("metrics".to_string(), metrics.clone()));
+            }
+        }
+        json
     }
 }
 

@@ -38,7 +38,7 @@
 //! uninterrupted one (stops happen only at committed-step boundaries)
 //! and whose [`StopReason`] says why it ended. Such a prefix converts
 //! into a fully functional partial
-//! [`BlasysResult`](crate::flow::BlasysResult) via
+//! [`BlasysResult`] via
 //! [`FlowSession::result`].
 //!
 //! # Example
@@ -73,13 +73,15 @@ use std::time::{Duration, Instant};
 use blasys_bmf::{Algebra, Factorizer};
 use blasys_decomp::{decompose, DecompConfig, Partition};
 use blasys_logic::Netlist;
-use blasys_par::{Parallelism, Pool, Workers};
+use blasys_obs::Registry;
+use blasys_par::{Parallelism, Pool, PoolMetrics, Workers};
 use blasys_synth::estimate::EstimateConfig;
 use blasys_synth::{CellLibrary, EspressoConfig};
 
 use crate::explore::{explore_ctx, ExploreConfig, StopCriterion, TrajectoryPoint};
 use crate::flow::{influence_weights, BlasysResult, FlowError, OutputWeighting};
 use crate::montecarlo::{Evaluator, McConfig};
+use crate::obs::QorCounters;
 use crate::profile::{profile_partition_ctx, ProfileConfig, SubcircuitProfile};
 use crate::qor::QorMetric;
 
@@ -124,6 +126,14 @@ pub trait FlowObserver: Send + Sync {
         let _ = stage;
     }
 
+    /// A window's factorization ladder is about to be profiled (called
+    /// from the worker thread that will profile it; pairs with
+    /// [`on_window_profiled`](FlowObserver::on_window_profiled) on the
+    /// same thread).
+    fn on_window_start(&self, cluster: usize) {
+        let _ = cluster;
+    }
+
     /// One window's full factorization ladder was profiled
     /// (`total_windows` = partition size; called once per window, from
     /// worker threads, in completion order).
@@ -135,6 +145,32 @@ pub trait FlowObserver: Send + Sync {
     /// (including the exact step 0).
     fn on_trajectory_point(&self, point: &TrajectoryPoint) {
         let _ = point;
+    }
+}
+
+/// Shared observers observe too: an `Arc<O>` forwards every callback
+/// to `O`. This is what lets [`FlowConfig::observer`] take observers
+/// by value while callers that want to keep a handle (to read counters
+/// after the flow, say) simply pass an `Arc` clone.
+impl<T: FlowObserver + ?Sized> FlowObserver for Arc<T> {
+    fn on_stage_start(&self, stage: FlowStage) {
+        (**self).on_stage_start(stage);
+    }
+
+    fn on_stage_end(&self, stage: FlowStage) {
+        (**self).on_stage_end(stage);
+    }
+
+    fn on_window_start(&self, cluster: usize) {
+        (**self).on_window_start(cluster);
+    }
+
+    fn on_window_profiled(&self, profile: &SubcircuitProfile, total_windows: usize) {
+        (**self).on_window_profiled(profile, total_windows);
+    }
+
+    fn on_trajectory_point(&self, point: &TrajectoryPoint) {
+        (**self).on_trajectory_point(point);
     }
 }
 
@@ -345,6 +381,12 @@ impl FlowContext<'_> {
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
+    pub(crate) fn window_start(&self, cluster: usize) {
+        if let Some(o) = self.observer {
+            o.on_window_start(cluster);
+        }
+    }
+
     pub(crate) fn window_profiled(&self, profile: &SubcircuitProfile, total: usize) {
         if let Some(o) = self.observer {
             o.on_window_profiled(profile, total);
@@ -375,6 +417,7 @@ pub struct FlowConfig {
     pub(crate) stimulus: Option<Vec<Vec<u64>>>,
     pub(crate) parallelism: Parallelism,
     pub(crate) observer: Option<Arc<dyn FlowObserver>>,
+    pub(crate) metrics: Option<Arc<Registry>>,
     pub(crate) cancel: Option<CancelToken>,
     pub(crate) wall_budget: Option<Duration>,
 }
@@ -389,6 +432,7 @@ impl std::fmt::Debug for FlowConfig {
             .field("stimulus", &self.stimulus.is_some())
             .field("parallelism", &self.parallelism)
             .field("observer", &self.observer.is_some())
+            .field("metrics", &self.metrics.is_some())
             .field("cancel", &self.cancel.is_some())
             .field("wall_budget", &self.wall_budget)
             .finish_non_exhaustive()
@@ -416,6 +460,7 @@ impl FlowConfig {
             stimulus: None,
             parallelism: Parallelism::default(),
             observer: None,
+            metrics: None,
             cancel: None,
             wall_budget: None,
         }
@@ -502,8 +547,36 @@ impl FlowConfig {
     }
 
     /// Attach a progress observer to every stage of the session.
-    pub fn observer(mut self, observer: Arc<dyn FlowObserver>) -> FlowConfig {
+    ///
+    /// Takes any observer by value — including an `Arc<O>` clone when
+    /// you want to keep a handle to read its state after the flow (an
+    /// `Arc<O>` is itself a [`FlowObserver`] that forwards to `O`):
+    ///
+    /// ```ignore
+    /// let stages = Arc::new(Stages::default());
+    /// let cfg = FlowConfig::new().observer(stages.clone());
+    /// // ... run the flow, then inspect `stages` ...
+    /// ```
+    pub fn observer(mut self, observer: impl FlowObserver + 'static) -> FlowConfig {
+        self.observer = Some(Arc::new(observer));
+        self
+    }
+
+    /// Like [`FlowConfig::observer`], for an observer that is already
+    /// type-erased behind `Arc<dyn FlowObserver>`.
+    pub fn observer_shared(mut self, observer: Arc<dyn FlowObserver>) -> FlowConfig {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Attach a metrics registry. The session registers and updates
+    /// `flow.*` stage wall-time counters, `qor.*` engine counters, and
+    /// (for pooled sessions) `pool.*` worker metrics on it; snapshot
+    /// the registry whenever you like. See
+    /// [`crate::obs`](crate::obs#counter-determinism) for which
+    /// counters are deterministic.
+    pub fn metrics(mut self, registry: Arc<Registry>) -> FlowConfig {
+        self.metrics = Some(registry);
         self
     }
 
@@ -605,13 +678,24 @@ impl FlowSession<Decomposed> {
             return Err(FlowError::NoGates);
         }
         cfg.observe(|o| o.on_stage_start(FlowStage::Decompose));
+        let t0 = Instant::now();
         let partition = decompose(nl, &cfg.decomp);
+        if let Some(r) = &cfg.metrics {
+            r.counter("flow.decompose.wall_ns")
+                .add(t0.elapsed().as_nanos() as u64);
+        }
         cfg.observe(|o| o.on_stage_end(FlowStage::Decompose));
         if partition.is_empty() {
             return Err(FlowError::NoGates);
         }
         let workers = cfg.parallelism.worker_count();
-        let pool = (workers >= 2).then(|| Pool::new(workers));
+        let pool = (workers >= 2).then(|| {
+            let metrics = cfg
+                .metrics
+                .as_ref()
+                .map(|r| PoolMetrics::register(r, workers));
+            Pool::new_with_metrics(workers, metrics)
+        });
         Ok(FlowSession {
             cfg,
             original: nl.clone(),
@@ -664,7 +748,12 @@ impl FlowSession<Decomposed> {
             None => Workers::Transient(Parallelism::Serial),
         };
         cfg.observe(|o| o.on_stage_start(FlowStage::Profile));
+        let t0 = Instant::now();
         let profiles = profile_partition_ctx(&original, &partition, &profile_cfg, workers, &ctx)?;
+        if let Some(r) = &cfg.metrics {
+            r.counter("flow.profile.wall_ns")
+                .add(t0.elapsed().as_nanos() as u64);
+        }
         if ctx.cancelled() {
             return Err(FlowError::Cancelled);
         }
@@ -701,14 +790,18 @@ impl FlowSession<Profiled> {
     /// exact table installation) on first use and cached for every
     /// later exploration.
     fn pristine(&self) -> &Evaluator {
-        self.stage
-            .pristine
-            .get_or_init(|| match &self.cfg.stimulus {
+        self.stage.pristine.get_or_init(|| {
+            let mut evaluator = match &self.cfg.stimulus {
                 Some(stim) => {
                     Evaluator::with_stimulus(&self.original, &self.partition, stim.clone())
                 }
                 None => Evaluator::new(&self.original, &self.partition, &self.cfg.mc),
-            })
+            };
+            if let Some(r) = &self.cfg.metrics {
+                evaluator.set_counters(Arc::new(QorCounters::register(r)));
+            }
+            evaluator
+        })
     }
 
     /// Run one greedy exploration against the cached profiles and
@@ -729,6 +822,7 @@ impl FlowSession<Profiled> {
             deadline: spec.budget.max_wall.map(|d| Instant::now() + d),
         };
         self.cfg.observe(|o| o.on_stage_start(FlowStage::Explore));
+        let t0 = Instant::now();
         let exploration = explore_ctx(
             &mut evaluator,
             &self.stage.profiles,
@@ -737,12 +831,17 @@ impl FlowSession<Profiled> {
             &ctx,
             &spec.budget,
         );
+        if let Some(r) = &self.cfg.metrics {
+            r.counter("flow.explore.wall_ns")
+                .add(t0.elapsed().as_nanos() as u64);
+            r.counter("flow.explore.probes").add(exploration.probes);
+        }
         self.cfg.observe(|o| o.on_stage_end(FlowStage::Explore));
         exploration
     }
 
     /// Package an exploration into a full
-    /// [`BlasysResult`](crate::flow::BlasysResult) (cloning the cached
+    /// [`BlasysResult`] (cloning the cached
     /// partition and profiles, so the session stays usable). Works for
     /// truncated explorations too: every recorded trajectory point can
     /// be synthesized and measured.

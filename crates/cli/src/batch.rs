@@ -76,6 +76,7 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
             .join(",")
     );
 
+    let root = opts.span("batch");
     let results: Vec<Result<Vec<Vec<String>>, String>> = par_run(pool, files.len(), |fi| {
         let path = &files[fi];
         let shown = path.file_name().unwrap_or_default().to_string_lossy();
@@ -118,6 +119,7 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
         })
     });
 
+    drop(root);
     let mut rows = Vec::new();
     let mut failures = Vec::new();
     for r in results {
@@ -135,6 +137,7 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
     for f in &failures {
         eprintln!("failed: {f}");
     }
+    opts.finish()?;
     if failures.is_empty() {
         Ok(())
     } else {

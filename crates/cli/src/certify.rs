@@ -32,20 +32,56 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
     let file = require(file, "input BLIF file")?;
 
     let nl = parse_blif_file(&file)?;
-    let session = opts.profiled_session(&file, &nl)?;
-    let exploration = session.explore(&opts.explore_spec());
-    let mut result = session.into_result(exploration);
+    let mut result = {
+        let _root = opts.span("certify-flow");
+        let session = opts.profiled_session(&file, &nl)?;
+        let exploration = session.explore(&opts.explore_spec());
+        session.into_result(exploration)
+    };
     let step = result
         .best_step_under(opts.metric, opts.threshold)
         .unwrap_or(0);
-    let point = result.certify_step(step);
+    let point = match opts.obs() {
+        Some(obs) => {
+            // Per-probe solver statistics stream into `sat.*`
+            // histograms (bounds in powers of two) plus total counters.
+            let _span = obs.tracer.span("certify");
+            let bounds: Vec<u64> = (0..=16).map(|b| 1u64 << b).collect();
+            let conflicts_h = obs.registry.histogram("sat.conflicts_per_probe", &bounds);
+            let restarts_h = obs.registry.histogram("sat.restarts_per_probe", &bounds);
+            let learnt_h = obs.registry.histogram("sat.learnt_per_probe", &bounds);
+            let probes_c = obs.registry.counter("sat.probes");
+            let conflicts_c = obs.registry.counter("sat.conflicts");
+            let restarts_c = obs.registry.counter("sat.restarts");
+            let learnt_c = obs.registry.counter("sat.learnt_clauses");
+            result.certify_step_observed(step, &mut |s| {
+                conflicts_h.observe(s.conflicts);
+                restarts_h.observe(s.restarts);
+                learnt_h.observe(s.learnt_clauses);
+                probes_c.inc();
+                conflicts_c.add(s.conflicts);
+                restarts_c.add(s.restarts);
+                learnt_c.add(s.learnt_clauses);
+                obs.flight.record(format!(
+                    "certify: probe done ({} conflicts, {} restarts)",
+                    s.conflicts, s.restarts
+                ));
+            })
+        }
+        None => result.certify_step(step),
+    };
     let cert = &point.certificate;
     eprintln!(
         "step {step}: sampled worst |R - R'| = {}, certified = {} ({} SAT probes, {} conflicts)",
         point.sampled_worst_absolute, cert.worst_absolute, cert.probes, cert.stats.conflicts,
     );
 
-    let report = FlowReport::from_result(&result, step);
+    let mut report = FlowReport::from_result(&result, step);
+    if opts.metrics {
+        if let Some(obs) = opts.obs() {
+            report = report.with_metrics(&obs.registry.snapshot());
+        }
+    }
     let json = Json::obj([
         ("report", report.to_json()),
         (
@@ -80,5 +116,6 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
             ]),
         ),
     ]);
-    write_output(&report_out, &json.pretty())
+    write_output(&report_out, &json.pretty())?;
+    opts.finish()
 }

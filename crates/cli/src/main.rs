@@ -59,6 +59,11 @@ FLOW OPTIONS (run / certify / profile / sweep / batch):
     --threads <N>           Worker threads: N, 0 or `auto` (batch defaults to auto,
                             everything else to $BLASYS_THREADS or serial)
     --progress              Stream stage / window / trajectory progress to stderr
+    --trace-out <PATH>      Write a chrome://tracing JSON trace of the whole
+                            command (open in Perfetto or chrome://tracing)
+    --metrics               Collect flow/engine/pool counters; print the
+                            snapshot as JSON on stderr (run and certify also
+                            embed it in the report under \"metrics\")
 
 OUTPUT OPTIONS:
     run:      --blif <PATH>  --verilog <PATH>  --report <PATH|-> [default: -]
@@ -74,6 +79,7 @@ EXAMPLES:
         --verilog approx.v --report report.json
     blasys certify benchmarks/mult3.blif --error-threshold 0.1
     blasys sweep benchmarks/mult4.blif --format csv --progress
+    blasys run benchmarks/mult4.blif --trace-out trace.json --metrics
     blasys batch benchmarks/ --threads auto --thresholds 0.02,0.05,0.1";
 
 fn main() -> ExitCode {

@@ -3,16 +3,19 @@
 //! subcommand.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex, Once, OnceLock};
+use std::time::Duration;
 
 use blasys_core::report::parse_metric;
 use blasys_core::session::{
     ExploreSpec, FlowConfig, FlowObserver, FlowSession, FlowStage, Profiled,
 };
-use blasys_core::{FlowError, Parallelism, QorMetric, SubcircuitProfile, TrajectoryPoint};
+use blasys_core::{
+    FlowError, Observers, Parallelism, QorMetric, SubcircuitProfile, TraceObserver, TrajectoryPoint,
+};
 use blasys_logic::blif::from_blif;
 use blasys_logic::Netlist;
+use blasys_obs::{FlightRecorder, Registry, SpanGuard, Tracer};
 
 /// A subcommand failure, mapped onto the process exit code.
 pub enum CliError {
@@ -62,6 +65,28 @@ pub struct FlowOpts {
     /// Stream stage / window / trajectory progress to stderr
     /// (`--progress`).
     pub progress: bool,
+    /// Write a chrome://tracing JSON trace of the whole command here
+    /// (`--trace-out`).
+    pub trace_out: Option<String>,
+    /// Collect and print a metrics snapshot (`--metrics`).
+    pub metrics: bool,
+    /// Lazily-built observability handles, shared by every session the
+    /// command opens (batch opens one per circuit).
+    obs: OnceLock<ObsHandles>,
+}
+
+/// The observability instruments behind `--trace-out` / `--metrics`:
+/// one tracer, registry, and flight recorder per command invocation.
+pub struct ObsHandles {
+    /// Span tracer; exported as chrome-trace JSON by
+    /// [`FlowOpts::finish`].
+    pub tracer: Arc<Tracer>,
+    /// Metrics registry the flow populates (`flow.*`, `qor.*`,
+    /// `pool.*`, and — for certify — `sat.*`).
+    pub registry: Arc<Registry>,
+    /// Bounded ring of recent milestones, dumped on panic and on flow
+    /// errors.
+    pub flight: Arc<FlightRecorder>,
 }
 
 impl Default for FlowOpts {
@@ -74,6 +99,9 @@ impl Default for FlowOpts {
             parallelism: None,
             limits: (10, 10),
             progress: false,
+            trace_out: None,
+            metrics: false,
+            obs: OnceLock::new(),
         }
     }
 }
@@ -135,6 +163,14 @@ impl FlowOpts {
                 self.progress = true;
                 1
             }
+            "--trace-out" => {
+                self.trace_out = Some(value(args, i)?.to_string());
+                2
+            }
+            "--metrics" => {
+                self.metrics = true;
+                1
+            }
             _ => return Ok(None),
         };
         Ok(Some(consumed))
@@ -146,6 +182,63 @@ impl FlowOpts {
         self.parallelism.unwrap_or_else(Parallelism::from_env)
     }
 
+    /// The observability instruments, if `--trace-out` or `--metrics`
+    /// was given (built on first use; the panic hook that dumps the
+    /// flight recorder is installed once per process).
+    pub fn obs(&self) -> Option<&ObsHandles> {
+        if self.trace_out.is_none() && !self.metrics {
+            return None;
+        }
+        Some(self.obs.get_or_init(|| {
+            let flight = Arc::new(FlightRecorder::new(256));
+            static PANIC_HOOK: Once = Once::new();
+            PANIC_HOOK.call_once(|| blasys_obs::install_panic_dump(&flight));
+            ObsHandles {
+                tracer: Arc::new(Tracer::default()),
+                registry: Arc::new(Registry::default()),
+                flight,
+            }
+        }))
+    }
+
+    /// A named span on the command's tracer (`None` without
+    /// `--trace-out`/`--metrics`) — used for command-level root spans
+    /// like `run` or `certify`.
+    pub fn span(&self, name: &'static str) -> Option<SpanGuard<'_>> {
+        self.obs().map(|o| o.tracer.span(name))
+    }
+
+    /// Emit the end-of-command observability artifacts: the chrome
+    /// trace to `--trace-out` and the metrics snapshot (as pretty JSON
+    /// on stderr) for `--metrics`.
+    pub fn finish(&self) -> Result<(), CliError> {
+        let Some(obs) = self.obs() else {
+            return Ok(());
+        };
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, obs.tracer.chrome_json())
+                .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+            eprintln!("wrote chrome trace to {path} (open in Perfetto or chrome://tracing)");
+        }
+        if self.metrics {
+            let snapshot = obs.registry.snapshot();
+            eprint!("{}", blasys_core::report::snapshot_json(&snapshot).pretty());
+        }
+        Ok(())
+    }
+
+    /// Dump the flight recorder to stderr (no-op when observability is
+    /// off or nothing was recorded) — called on flow errors so the
+    /// last recorded milestones frame the failure.
+    pub fn dump_flight(&self) {
+        if let Some(obs) = self.obs() {
+            let rendered = obs.flight.render();
+            if !rendered.is_empty() {
+                eprintln!("flight recorder (most recent events):\n{rendered}");
+            }
+        }
+    }
+
     /// The session configuration these options resolve to, with an
     /// explicit parallelism (used by `batch`, whose per-circuit flows
     /// must run serially inside the corpus pool).
@@ -155,8 +248,17 @@ impl FlowOpts {
             .seed(self.seed)
             .limits(self.limits.0, self.limits.1)
             .parallelism(parallelism);
+        let mut observers = Observers::new();
         if self.progress {
-            cfg = cfg.observer(Arc::new(Progress::new()));
+            observers = observers.with(Progress::new());
+        }
+        if let Some(obs) = self.obs() {
+            observers = observers
+                .with(TraceObserver::new(obs.tracer.clone()).with_flight(obs.flight.clone()));
+            cfg = cfg.metrics(obs.registry.clone());
+        }
+        if !observers.is_empty() {
+            cfg = cfg.observer(observers);
         }
         cfg
     }
@@ -189,28 +291,47 @@ impl FlowOpts {
     ) -> Result<FlowSession<Profiled>, CliError> {
         FlowSession::open(nl, self.flow_config())
             .and_then(FlowSession::profile)
-            .map_err(|e| CliError::flow(file, e))
+            .map_err(|e| {
+                self.dump_flight();
+                CliError::flow(file, e)
+            })
     }
 }
 
 /// The `--progress` observer: streams stage begin/end, per-window
-/// profile completion, and every committed trajectory point to stderr.
+/// profile completion, and every committed trajectory point to
+/// stderr, each line prefixed `[+1.234s]` on the shared
+/// [`blasys_obs::elapsed`] clock (the same clock the span tracer
+/// uses, so progress lines and trace timestamps line up). On drop it
+/// prints a per-stage wall-time summary.
 pub struct Progress {
-    start: Instant,
     windows_done: AtomicUsize,
+    /// Per-stage open timestamp and accumulated total, indexed by
+    /// [`stage_index`]. Stage callbacks arrive from the session thread
+    /// in order, so the mutex is uncontended.
+    stages: Mutex<[(Option<Duration>, Duration); 3]>,
+}
+
+fn stage_index(stage: FlowStage) -> usize {
+    match stage {
+        FlowStage::Decompose => 0,
+        FlowStage::Profile => 1,
+        FlowStage::Explore => 2,
+    }
 }
 
 impl Progress {
-    /// A fresh observer; timestamps are relative to construction.
+    /// A fresh observer; timestamps are relative to the process-wide
+    /// observability epoch.
     pub fn new() -> Progress {
         Progress {
-            start: Instant::now(),
             windows_done: AtomicUsize::new(0),
+            stages: Mutex::new([(None, Duration::ZERO); 3]),
         }
     }
 
     fn stamp(&self) -> f64 {
-        self.start.elapsed().as_secs_f64()
+        blasys_obs::elapsed().as_secs_f64()
     }
 }
 
@@ -220,19 +341,42 @@ impl Default for Progress {
     }
 }
 
+impl Drop for Progress {
+    fn drop(&mut self) {
+        let stages = self.stages.lock().unwrap();
+        let parts: Vec<String> = ["decompose", "profile", "explore"]
+            .iter()
+            .zip(stages.iter())
+            .filter(|(_, (_, total))| !total.is_zero())
+            .map(|(name, (_, total))| format!("{name} {:.3}s", total.as_secs_f64()))
+            .collect();
+        if !parts.is_empty() {
+            eprintln!("[+{:.3}s] timing: {}", self.stamp(), parts.join(" | "));
+        }
+    }
+}
+
 impl FlowObserver for Progress {
     fn on_stage_start(&self, stage: FlowStage) {
-        eprintln!("[{:8.3}s] {stage}: start", self.stamp());
+        self.stages.lock().unwrap()[stage_index(stage)].0 = Some(blasys_obs::elapsed());
+        eprintln!("[+{:.3}s] {stage}: start", self.stamp());
     }
 
     fn on_stage_end(&self, stage: FlowStage) {
-        eprintln!("[{:8.3}s] {stage}: done", self.stamp());
+        let now = blasys_obs::elapsed();
+        let mut stages = self.stages.lock().unwrap();
+        let slot = &mut stages[stage_index(stage)];
+        if let Some(begun) = slot.0.take() {
+            slot.1 += now.saturating_sub(begun);
+        }
+        drop(stages);
+        eprintln!("[+{:.3}s] {stage}: done", self.stamp());
     }
 
     fn on_window_profiled(&self, profile: &SubcircuitProfile, total_windows: usize) {
         let done = self.windows_done.fetch_add(1, Ordering::Relaxed) + 1;
         eprintln!(
-            "[{:8.3}s] profile: window {done}/{total_windows} (cluster {}, {}x{}, {} degrees)",
+            "[+{:.3}s] profile: window {done}/{total_windows} (cluster {}, {}x{}, {} degrees)",
             self.stamp(),
             profile.cluster,
             profile.num_inputs,
@@ -243,7 +387,7 @@ impl FlowObserver for Progress {
 
     fn on_trajectory_point(&self, point: &TrajectoryPoint) {
         eprintln!(
-            "[{:8.3}s] explore: step {} (cluster {:?}, avg rel err {:.5}, model area {:.1} um^2)",
+            "[+{:.3}s] explore: step {} (cluster {:?}, avg rel err {:.5}, model area {:.1} um^2)",
             self.stamp(),
             point.step,
             point.changed_cluster,

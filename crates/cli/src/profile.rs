@@ -36,7 +36,10 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
     let file = require(file, "input BLIF file")?;
 
     let nl = parse_blif_file(&file)?;
-    let session = opts.profiled_session(&file, &nl)?;
+    let session = {
+        let _root = opts.span("profile");
+        opts.profiled_session(&file, &nl)?
+    };
     let partition = session.partition();
     let profiles = session.profiles();
 
@@ -71,7 +74,8 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
             ("circuit", Json::str(nl.name())),
             ("clusters", Json::Arr(clusters)),
         ]);
-        write_output(&out, &doc.pretty())
+        write_output(&out, &doc.pretty())?;
+        opts.finish()
     } else {
         let mut rows = Vec::new();
         for p in profiles {
@@ -96,6 +100,7 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
             &["cluster", "kxm", "f", "area_um2", "hamming", "gates"],
             &rows,
         ));
-        write_output(&out, &text)
+        write_output(&out, &text)?;
+        opts.finish()
     }
 }

@@ -51,9 +51,12 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
         nl.gate_count()
     );
 
-    let session = opts.profiled_session(&file, &nl)?;
-    let exploration = session.explore(&opts.explore_spec());
-    let result = session.into_result(exploration);
+    let result = {
+        let _root = opts.span("run");
+        let session = opts.profiled_session(&file, &nl)?;
+        let exploration = session.explore(&opts.explore_spec());
+        session.into_result(exploration)
+    };
     let step = result
         .best_step_under(opts.metric, opts.threshold)
         .unwrap_or(0);
@@ -68,7 +71,12 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
         eprintln!("wrote structural Verilog to {path}");
     }
 
-    let report = FlowReport::from_result_with_netlist(&result, step, &synthesized);
+    let mut report = FlowReport::from_result_with_netlist(&result, step, &synthesized);
+    if opts.metrics {
+        if let Some(obs) = opts.obs() {
+            report = report.with_metrics(&obs.registry.snapshot());
+        }
+    }
     let savings = report.chosen.savings_vs(&report.baseline);
     eprintln!(
         "step {} of {}: error {:.5}, area {:.1} -> {:.1} um^2 ({:+.1}% saved)",
@@ -79,5 +87,6 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
         report.chosen.area_um2,
         savings.area_pct,
     );
-    write_output(&report_out, &report.to_json().pretty())
+    write_output(&report_out, &report.to_json().pretty())?;
+    opts.finish()
 }

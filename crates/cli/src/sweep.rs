@@ -57,9 +57,12 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
     let nl = parse_blif_file(&file)?;
     // Profile once; one exhaustive walk serves every threshold on the
     // ladder.
-    let session = opts.profiled_session(&file, &nl)?;
-    let exploration = session.explore(&opts.explore_spec_exhaust());
-    let result = session.into_result(exploration);
+    let result = {
+        let _root = opts.span("sweep");
+        let session = opts.profiled_session(&file, &nl)?;
+        let exploration = session.explore(&opts.explore_spec_exhaust());
+        session.into_result(exploration)
+    };
     let baseline = result.baseline_metrics();
 
     struct Row {
@@ -102,7 +105,8 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
                 r.threshold, r.step, r.error, r.model_area, r.area_um2, r.area_saved_pct
             ));
         }
-        write_output(&out, &text)
+        write_output(&out, &text)?;
+        opts.finish()
     } else {
         let curve = tradeoff_curve(result.trajectory(), opts.metric);
         let front = pareto_front(&curve);
@@ -143,6 +147,7 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
                 ),
             ),
         ]);
-        write_output(&out, &doc.pretty())
+        write_output(&out, &doc.pretty())?;
+        opts.finish()
     }
 }

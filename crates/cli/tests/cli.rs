@@ -229,6 +229,80 @@ fn progress_streams_stage_window_and_step_events() {
     // Progress goes to stderr only; stdout stays machine-readable CSV.
     let s = stdout(&out);
     assert!(s.starts_with("threshold,"), "stdout polluted: {s}");
+    // The summary printed when the run finishes reuses the span clock.
+    assert!(
+        e.contains("timing: decompose"),
+        "missing timing summary: {e}"
+    );
+}
+
+/// Quote-aware structural JSON check: balanced braces/brackets and a
+/// terminated top level — enough to catch truncated or interleaved
+/// writer output without a parser.
+fn assert_valid_json(text: &str) {
+    let (mut depth, mut in_string, mut escaped) = (0i64, false, false);
+    for c in text.chars() {
+        if in_string {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                assert!(depth >= 0, "unbalanced close: {text}");
+            }
+            _ => {}
+        }
+    }
+    assert!(!in_string && depth == 0, "malformed JSON: {text}");
+}
+
+#[test]
+fn sweep_trace_out_writes_chrome_trace_and_metrics_snapshot() {
+    let dir = scratch("sweep-trace");
+    let trace = dir.join("trace.json");
+    let bench = benchmarks_dir().join("mult3.blif");
+    let out = blasys(
+        &[
+            &["sweep", bench.to_str().unwrap()],
+            FAST,
+            &["--trace-out", trace.to_str().unwrap(), "--metrics"],
+        ]
+        .concat(),
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    // The trace loads as chrome-trace JSON: a traceEvents array with
+    // balanced B/E phases (Perfetto rejects anything less).
+    let t = std::fs::read_to_string(&trace).expect("read trace");
+    assert_valid_json(&t);
+    assert!(
+        t.starts_with("{\"traceEvents\":["),
+        "not a chrome trace: {t}"
+    );
+    assert_eq!(
+        t.matches("\"ph\":\"B\"").count(),
+        t.matches("\"ph\":\"E\"").count(),
+        "unbalanced spans in trace: {t}"
+    );
+    for span in ["sweep", "decompose", "profile", "explore", "window"] {
+        assert!(
+            t.contains(&format!("\"name\":\"{span}\"")),
+            "missing `{span}` span in trace: {t}"
+        );
+    }
+
+    // --metrics prints the snapshot JSON to stderr; stdout stays CSV.
+    let e = stderr(&out);
+    assert!(e.contains("\"qor.probes\""), "missing snapshot: {e}");
+    assert!(stdout(&out).starts_with("threshold,"), "stdout polluted");
 }
 
 #[test]

@@ -1,0 +1,117 @@
+//! Flight recorder: a bounded ring of recent events for post-mortems.
+//!
+//! Flow-level milestones (stage starts, committed steps, profiled
+//! windows) are appended as short text events; when something goes
+//! wrong — a panic, a `FlowError` — the last few dozen events give
+//! the "what was it doing" context a stack trace cannot. The ring is
+//! bounded, so a week-long sweep costs the same memory as a short run.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::{elapsed_micros, thread_id};
+
+/// One recorded flight event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Microseconds since the process epoch.
+    pub ts_us: u64,
+    /// Recording thread (see [`crate::thread_id`]).
+    pub tid: u64,
+    /// Short human-readable description.
+    pub what: String,
+}
+
+/// A bounded ring buffer of recent [`FlightEvent`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    ring: Mutex<VecDeque<FlightEvent>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `cap` events (`cap >= 1`).
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            cap: cap.max(1),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Append an event, evicting the oldest past capacity.
+    pub fn record(&self, what: impl Into<String>) {
+        let ev = FlightEvent {
+            ts_us: elapsed_micros(),
+            tid: thread_id(),
+            what: what.into(),
+        };
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Render the retained events as indented text lines
+    /// (`  [+1.234s tid 2] explore: step 17`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&format!(
+                "  [+{:.3}s tid {}] {}\n",
+                e.ts_us as f64 / 1e6,
+                e.tid,
+                e.what
+            ));
+        }
+        out
+    }
+}
+
+/// Chain a panic hook that dumps the recorder's recent events to
+/// stderr before the previous hook runs. Install at most once per
+/// process (each call adds another layer).
+pub fn install_panic_dump(recorder: &Arc<FlightRecorder>) {
+    let recorder = Arc::clone(recorder);
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let rendered = recorder.render();
+        if !rendered.is_empty() {
+            eprintln!("flight recorder (most recent events):\n{rendered}");
+        }
+        previous(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..7 {
+            fr.record(format!("event {i}"));
+        }
+        let events = fr.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.what.as_str()).collect::<Vec<_>>(),
+            vec!["event 4", "event 5", "event 6"]
+        );
+    }
+
+    #[test]
+    fn render_prefixes_time_and_thread() {
+        let fr = FlightRecorder::new(8);
+        fr.record("profile: window 1/4");
+        let text = fr.render();
+        assert!(text.contains("profile: window 1/4"), "{text}");
+        assert!(text.trim_start().starts_with("[+"), "{text}");
+    }
+}

@@ -1,0 +1,330 @@
+//! Span tracer with chrome://tracing "trace event" JSON export.
+//!
+//! Spans are recorded as paired `Begin`/`End` events carrying the
+//! recording thread's id and a microsecond timestamp from the shared
+//! process clock. Events land in one of a fixed set of sharded
+//! buffers keyed by thread id, so concurrent workers almost never
+//! contend on the same lock ("lock-free-ish": one uncontended mutex
+//! acquisition per event, no allocation beyond the event itself).
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::{elapsed_micros, escape_json, thread_id};
+
+/// Number of event-buffer shards; a power of two so the thread-id
+/// residue is a cheap mask. Threads map to shards by id, so a worker
+/// always appends to "its" shard.
+const SHARDS: usize = 16;
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A span opened (`"ph": "B"`).
+    Begin,
+    /// A span closed (`"ph": "E"`).
+    End,
+    /// A zero-duration marker (`"ph": "i"`, thread-scoped).
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Span or marker name.
+    pub name: Cow<'static, str>,
+    /// Recording thread (see [`crate::thread_id`]).
+    pub tid: u64,
+    /// Microseconds since the process epoch.
+    pub ts_us: u64,
+    /// Begin / end / instant.
+    pub phase: TracePhase,
+    /// Global record order — total order across threads, used to keep
+    /// the export stable when timestamps tie.
+    seq: u64,
+}
+
+/// Collects spans and instant markers from any number of threads and
+/// exports them as chrome-trace JSON.
+///
+/// Create one per run (the CLI creates one per `--trace-out`
+/// invocation), share it by reference or `Arc`, and call
+/// [`Tracer::chrome_json`] at the end. Nesting is expressed purely by
+/// `Begin`/`End` order per thread, exactly as the chrome trace format
+/// expects.
+pub struct Tracer {
+    shards: Vec<Mutex<Vec<TraceEvent>>>,
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").finish_non_exhaustive()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// An empty tracer.
+    pub fn new() -> Tracer {
+        Tracer {
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, name: Cow<'static, str>, phase: TracePhase) {
+        let tid = thread_id();
+        let ev = TraceEvent {
+            name,
+            tid,
+            ts_us: elapsed_micros(),
+            phase,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+        };
+        self.shards[tid as usize % SHARDS].lock().unwrap().push(ev);
+    }
+
+    /// Record a span begin. Prefer [`Tracer::span`] where the open and
+    /// close share a scope; use explicit begin/end when they live in
+    /// separate callbacks (they must still run on the same thread).
+    pub fn begin(&self, name: &'static str) {
+        self.record(Cow::Borrowed(name), TracePhase::Begin);
+    }
+
+    /// Record a span end, closing the most recent open span with the
+    /// same thread.
+    pub fn end(&self, name: &'static str) {
+        self.record(Cow::Borrowed(name), TracePhase::End);
+    }
+
+    /// Record a zero-duration, thread-scoped marker.
+    pub fn instant(&self, name: &'static str) {
+        self.record(Cow::Borrowed(name), TracePhase::Instant);
+    }
+
+    /// Open a span closed automatically when the guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.record(Cow::Borrowed(name), TracePhase::Begin);
+        SpanGuard {
+            tracer: self,
+            name: Cow::Borrowed(name),
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Like [`Tracer::span`] with a runtime-built name. The name
+    /// allocates, so only call this when tracing is actually on.
+    pub fn span_owned(&self, name: String) -> SpanGuard<'_> {
+        self.record(Cow::Owned(name.clone()), TracePhase::Begin);
+        SpanGuard {
+            tracer: self,
+            name: Cow::Owned(name),
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// All events recorded so far, in global record order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().unwrap().iter().cloned().collect::<Vec<_>>())
+            .collect();
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// Export everything as a chrome://tracing "trace event" JSON
+    /// document (openable in Perfetto).
+    ///
+    /// The export is always well-formed: any span still open at export
+    /// time (e.g. a flow aborted mid-stage) gets a synthetic closing
+    /// event, so `B`/`E` counts balance per thread.
+    pub fn chrome_json(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(64 + events.len() * 64);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |out: &mut String, name: &str, tid: u64, ts_us: u64, ph: &str| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":\"");
+            escape_json(name, out);
+            out.push_str(&format!(
+                "\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us}"
+            ));
+            if ph == "i" {
+                out.push_str(",\"s\":\"t\"");
+            }
+            out.push('}');
+        };
+        // Per-thread open-span stacks so dangling opens can be closed
+        // synthetically at the end.
+        let mut open: Vec<(u64, Vec<Cow<'static, str>>)> = Vec::new();
+        let mut last_ts = 0u64;
+        for e in &events {
+            last_ts = last_ts.max(e.ts_us);
+            let idx = match open.iter().position(|(tid, _)| *tid == e.tid) {
+                Some(i) => i,
+                None => {
+                    open.push((e.tid, Vec::new()));
+                    open.len() - 1
+                }
+            };
+            let stack = &mut open[idx].1;
+            match e.phase {
+                TracePhase::Begin => {
+                    stack.push(e.name.clone());
+                    push(&mut out, &e.name, e.tid, e.ts_us, "B");
+                }
+                TracePhase::End => {
+                    // An end without a matching open (recorder attached
+                    // mid-span) is dropped rather than unbalancing the
+                    // document.
+                    if stack.pop().is_some() {
+                        push(&mut out, &e.name, e.tid, e.ts_us, "E");
+                    }
+                }
+                TracePhase::Instant => push(&mut out, &e.name, e.tid, e.ts_us, "i"),
+            }
+        }
+        for (tid, stack) in open {
+            for name in stack.into_iter().rev() {
+                push(&mut out, &name, tid, last_ts, "E");
+            }
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+/// Closes its span when dropped. Not `Send`: a span must end on the
+/// thread that opened it (chrome-trace pairs `B`/`E` per thread).
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    name: Cow<'static, str>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.tracer
+            .record(std::mem::take(&mut self.name), TracePhase::End);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phases(t: &Tracer) -> Vec<(String, TracePhase)> {
+        t.events()
+            .into_iter()
+            .map(|e| (e.name.into_owned(), e.phase))
+            .collect()
+    }
+
+    #[test]
+    fn spans_nest_in_record_order() {
+        let t = Tracer::new();
+        {
+            let _outer = t.span("outer");
+            {
+                let _inner = t.span("inner");
+            }
+            t.instant("mark");
+        }
+        use TracePhase::*;
+        assert_eq!(
+            phases(&t),
+            vec![
+                ("outer".into(), Begin),
+                ("inner".into(), Begin),
+                ("inner".into(), End),
+                ("mark".into(), Instant),
+                ("outer".into(), End),
+            ]
+        );
+    }
+
+    #[test]
+    fn events_carry_the_recording_thread() {
+        let t = Tracer::new();
+        {
+            let _main = t.span("main-side");
+        }
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _w = t.span("worker-side");
+            });
+        });
+        let events = t.events();
+        assert_eq!(events.len(), 4);
+        let main_tid = events[0].tid;
+        let worker = events.iter().find(|e| e.name == "worker-side").unwrap();
+        assert_ne!(worker.tid, main_tid);
+        // Both pairs balance on their own threads.
+        for tid in [main_tid, worker.tid] {
+            let (b, e) =
+                events
+                    .iter()
+                    .filter(|ev| ev.tid == tid)
+                    .fold((0, 0), |(b, e), ev| match ev.phase {
+                        TracePhase::Begin => (b + 1, e),
+                        TracePhase::End => (b, e + 1),
+                        TracePhase::Instant => (b, e),
+                    });
+            assert_eq!(b, e, "tid {tid}");
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotone_per_thread() {
+        let t = Tracer::new();
+        for _ in 0..10 {
+            let _g = t.span("tick");
+        }
+        let events = t.events();
+        for w in events.windows(2) {
+            assert!(w[1].ts_us >= w[0].ts_us);
+        }
+    }
+
+    #[test]
+    fn export_closes_dangling_spans() {
+        let t = Tracer::new();
+        t.begin("left-open");
+        t.instant("mark");
+        let json = t.chrome_json();
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 1);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("}"));
+    }
+
+    #[test]
+    fn export_drops_unmatched_ends() {
+        let t = Tracer::new();
+        t.end("never-opened");
+        let json = t.chrome_json();
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 0);
+    }
+
+    #[test]
+    fn owned_names_are_escaped() {
+        let t = Tracer::new();
+        let _g = t.span_owned("with \"quotes\"".to_string());
+        drop(_g);
+        let json = t.chrome_json();
+        assert!(json.contains("with \\\"quotes\\\""));
+    }
+}

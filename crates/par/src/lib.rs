@@ -40,6 +40,8 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use blasys_obs::{Counter, Gauge, Registry};
+
 /// How much parallelism a flow phase may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Parallelism {
@@ -210,7 +212,7 @@ where
                     IN_WORKER.with(|g| g.set(true));
                     let mut local: Vec<(usize, R)> = Vec::new();
                     while !abort.load(Ordering::Relaxed) {
-                        let Some(task) = next_task(queues, w) else {
+                        let Some((task, _stolen)) = next_task(queues, w) else {
                             break;
                         };
                         match catch_unwind(AssertUnwindSafe(|| f(state, task))) {
@@ -255,6 +257,46 @@ where
 // ---------------------------------------------------------------------------
 // Persistent pool
 // ---------------------------------------------------------------------------
+
+/// Per-worker scheduling counters and a queue-depth gauge for a
+/// [`Pool`], registered in a [`blasys_obs::Registry`].
+///
+/// These are **wall-clock observations**, not flow data: how many
+/// tasks each worker executed, how many it obtained by stealing, and
+/// how often it drained the queues and went idle all depend on thread
+/// timing and vary run to run (unlike the flow's deterministic engine
+/// counters). Attach via [`Pool::new_with_metrics`].
+#[derive(Debug)]
+pub struct PoolMetrics {
+    /// `tasks[w]`: tasks worker `w` executed.
+    tasks: Vec<Arc<Counter>>,
+    /// `steals[w]`: tasks worker `w` took from another worker's queue.
+    steals: Vec<Arc<Counter>>,
+    /// `idle[w]`: times worker `w` found the queues empty and went
+    /// idle for the rest of a job.
+    idle: Vec<Arc<Counter>>,
+    /// Task count of the job currently in flight (0 between jobs).
+    queue_depth: Arc<Gauge>,
+}
+
+impl PoolMetrics {
+    /// Register `pool.worker<w>.{tasks,steals,idle}` counters for
+    /// `workers` workers plus the `pool.queue_depth` gauge.
+    pub fn register(registry: &Registry, workers: usize) -> PoolMetrics {
+        PoolMetrics {
+            tasks: (0..workers)
+                .map(|w| registry.counter(&format!("pool.worker{w}.tasks")))
+                .collect(),
+            steals: (0..workers)
+                .map(|w| registry.counter(&format!("pool.worker{w}.steals")))
+                .collect(),
+            idle: (0..workers)
+                .map(|w| registry.counter(&format!("pool.worker{w}.idle")))
+                .collect(),
+            queue_depth: registry.gauge("pool.queue_depth"),
+        }
+    }
+}
 
 /// A type-erased fork-join job: `call(ctx, worker_index)` drains the
 /// job's task queues. The pointer is only dereferenced while the
@@ -303,6 +345,7 @@ struct JobCtx<'a, S, R, F> {
     active: usize,
     abort: &'a AtomicBool,
     panic_payload: &'a Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    metrics: Option<&'a PoolMetrics>,
 }
 
 /// The erased worker entry point for one job. Catches panics itself so
@@ -323,9 +366,18 @@ where
         // job, so no other access exists.
         let state = &mut *ctx.states.add(w);
         while !ctx.abort.load(Ordering::Relaxed) {
-            let Some(task) = next_task(ctx.queues, w) else {
+            let Some((task, stolen)) = next_task(ctx.queues, w) else {
+                if let Some(m) = ctx.metrics {
+                    m.idle[w].inc();
+                }
                 break;
             };
+            if let Some(m) = ctx.metrics {
+                m.tasks[w].inc();
+                if stolen {
+                    m.steals[w].inc();
+                }
+            }
             let r = (ctx.f)(state, task);
             // SAFETY: the queues dispense each task index exactly once,
             // so this slot is written by exactly one worker.
@@ -388,6 +440,7 @@ pub struct Pool {
     shared: Arc<PoolShared>,
     handles: Vec<std::thread::JoinHandle<()>>,
     threads: usize,
+    metrics: Option<PoolMetrics>,
 }
 
 impl std::fmt::Debug for Pool {
@@ -402,7 +455,26 @@ impl Pool {
     /// Spawn a pool with `threads` persistent workers (`<= 1` spawns
     /// none; runs execute inline on the caller).
     pub fn new(threads: usize) -> Pool {
+        Pool::new_with_metrics(threads, None)
+    }
+
+    /// Like [`Pool::new`], with per-worker scheduling counters
+    /// recorded into `metrics`. Passing `None` is exactly `Pool::new`:
+    /// the task loop then skips all accounting behind one branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metrics` was registered for fewer workers than
+    /// `threads`.
+    pub fn new_with_metrics(threads: usize, metrics: Option<PoolMetrics>) -> Pool {
         let threads = threads.max(1);
+        if let Some(m) = &metrics {
+            assert!(
+                m.tasks.len() >= threads,
+                "PoolMetrics registered for {} workers, pool has {threads}",
+                m.tasks.len()
+            );
+        }
         let shared = Arc::new(PoolShared {
             slot: Mutex::new(JobSlot {
                 epoch: 0,
@@ -427,6 +499,7 @@ impl Pool {
             shared,
             handles,
             threads,
+            metrics,
         }
     }
 
@@ -509,7 +582,11 @@ impl Pool {
             active,
             abort: &abort,
             panic_payload: &panic_payload,
+            metrics: self.metrics.as_ref(),
         };
+        if let Some(m) = &self.metrics {
+            m.queue_depth.set(tasks as i64);
+        }
 
         {
             let mut slot = self.shared.slot.lock().unwrap();
@@ -533,6 +610,9 @@ impl Pool {
             }
         }
 
+        if let Some(m) = &self.metrics {
+            m.queue_depth.set(0);
+        }
         if let Some(payload) = panic_payload.lock().unwrap().take() {
             resume_unwind(payload);
         }
@@ -612,10 +692,10 @@ impl From<Parallelism> for Workers<'static> {
 }
 
 /// Pop from our own deque's front, else steal from the back of the
-/// fullest victim.
-fn next_task(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+/// fullest victim. The flag is true when the task was stolen.
+fn next_task(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<(usize, bool)> {
     if let Some(t) = queues[me].lock().unwrap().pop_front() {
-        return Some(t);
+        return Some((t, false));
     }
     loop {
         // Snapshot victim loads without holding more than one lock.
@@ -627,7 +707,7 @@ fn next_task(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
             Some((len, v)) if len > 0 => {
                 // Re-lock and steal; another thief may have raced us.
                 if let Some(t) = queues[v].lock().unwrap().pop_back() {
-                    return Some(t);
+                    return Some((t, true));
                 }
                 // Raced: rescan.
             }
@@ -918,6 +998,28 @@ mod tests {
             let mut states = vec![0usize; workers.worker_count().min(50)];
             assert_eq!(workers.run_states(50, &mut states, |_, i| i * 7), want);
         }
+    }
+
+    #[test]
+    fn pool_metrics_account_every_task() {
+        let registry = Registry::new();
+        let pool = Pool::new_with_metrics(3, Some(PoolMetrics::register(&registry, 3)));
+        for _ in 0..4 {
+            let got = pool.run(25, |i| i);
+            assert_eq!(got, (0..25).collect::<Vec<_>>());
+        }
+        let snap = registry.snapshot();
+        let executed: u64 = (0..3)
+            .map(|w| snap.counter(&format!("pool.worker{w}.tasks")).unwrap())
+            .sum();
+        assert_eq!(executed, 100, "every task is counted exactly once");
+        // The gauge is reset after the last job completes.
+        let depth = snap
+            .entries
+            .iter()
+            .find(|e| e.name == "pool.queue_depth")
+            .unwrap();
+        assert_eq!(depth.value, blasys_obs::SnapshotValue::Gauge(0));
     }
 
     #[test]

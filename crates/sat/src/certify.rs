@@ -55,6 +55,7 @@ fn probe(
     t: u128,
     stats: &mut SolverStats,
     probes: &mut usize,
+    on_probe: &mut dyn FnMut(&SolverStats),
 ) -> Option<Vec<u64>> {
     let miter = error_ge_miter(golden, approx, t);
     let words = golden.num_inputs().div_ceil(64).max(1);
@@ -70,7 +71,9 @@ fn probe(
     enc.assert_lit(encoded.output_lits[0]);
     let mut solver = Solver::from_cnf(enc.cnf());
     let result = solver.solve();
-    accumulate(stats, solver.stats());
+    let probe_stats = solver.stats();
+    on_probe(&probe_stats);
+    accumulate(stats, probe_stats);
     match result {
         SolveResult::Unsat => None,
         SolveResult::Sat => {
@@ -97,6 +100,24 @@ fn probe(
 ///
 /// Panics if the input counts differ or either netlist has no outputs.
 pub fn certify_worst_absolute(golden: &Netlist, approx: &Netlist) -> ErrorCertificate {
+    certify_worst_absolute_observed(golden, approx, &mut |_| {})
+}
+
+/// Like [`certify_worst_absolute`], but invokes `on_probe` with the
+/// solver statistics of each *real* SAT probe as the binary search
+/// issues it (constant-folded probes are skipped, matching the
+/// certificate's `probes` count). Lets callers stream per-probe
+/// conflict/restart/learned-clause figures into histograms without
+/// this crate depending on any metrics machinery.
+///
+/// # Panics
+///
+/// Same contract as [`certify_worst_absolute`].
+pub fn certify_worst_absolute_observed(
+    golden: &Netlist,
+    approx: &Netlist,
+    on_probe: &mut dyn FnMut(&SolverStats),
+) -> ErrorCertificate {
     install_backend();
     assert_eq!(
         golden.num_inputs(),
@@ -119,7 +140,7 @@ pub fn certify_worst_absolute(golden: &Netlist, approx: &Netlist) -> ErrorCertif
     let mut witness: Option<Vec<u64>> = None;
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        match probe(golden, approx, mid, &mut stats, &mut probes) {
+        match probe(golden, approx, mid, &mut stats, &mut probes, on_probe) {
             Some(pat) => {
                 lo = mid;
                 witness = Some(pat);

@@ -52,7 +52,8 @@ pub mod solver;
 pub mod tseitin;
 
 pub use certify::{
-    brute_force_worst_absolute, certify_worst_absolute, witness_error, ErrorCertificate,
+    brute_force_worst_absolute, certify_worst_absolute, certify_worst_absolute_observed,
+    witness_error, ErrorCertificate,
 };
 pub use check::{check_equiv_sat, install_backend};
 pub use cnf::{Cnf, Lit, Var};

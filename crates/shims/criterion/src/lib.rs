@@ -7,11 +7,90 @@
 //! enough for relative comparisons in an offline environment, with the
 //! same source-level interface as the real crate.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export for `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// One completed benchmark measurement, recorded for `--json` export.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    id: String,
+    samples: usize,
+    median_ns: u64,
+    throughput: Option<Throughput>,
+}
+
+/// Every measurement of the process so far, in completion order.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+fn record(result: BenchResult) {
+    RESULTS.lock().unwrap().push(result);
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render every recorded measurement as a stable JSON document:
+/// `{"benchmarks": [{"name", "samples", "median_ns", "throughput"}]}`.
+pub fn results_json() -> String {
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let tp = match r.throughput {
+            Some(Throughput::Elements(n)) => format!("{{\"elements\": {n}}}"),
+            Some(Throughput::Bytes(n)) => format!("{{\"bytes\": {n}}}"),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"samples\": {}, \"median_ns\": {}, \"throughput\": {}}}{}\n",
+            json_escape(&r.id),
+            r.samples,
+            r.median_ns,
+            tp,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// End-of-run hook called by [`criterion_main!`]: honors a
+/// `--json <path>` argument on the bench binary's command line by
+/// writing [`results_json`] there (`-` = stdout). Real criterion
+/// persists its measurements under `target/criterion`; the shim's
+/// equivalent is this explicit opt-in artifact.
+pub fn finish() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(i) = args.iter().position(|a| a == "--json") else {
+        return;
+    };
+    let Some(path) = args.get(i + 1) else {
+        eprintln!("--json requires a path argument");
+        std::process::exit(2);
+    };
+    let json = results_json();
+    if path == "-" {
+        print!("{json}");
+    } else if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    } else {
+        eprintln!("wrote benchmark results to {path}");
+    }
 }
 
 /// How batched inputs are grouped (accepted and ignored; the shim
@@ -127,6 +206,12 @@ where
         _ => String::new(),
     };
     println!("{id:<48} {median:>12?}/iter{rate}");
+    record(BenchResult {
+        id: id.to_string(),
+        samples,
+        median_ns: median.as_nanos() as u64,
+        throughput,
+    });
 }
 
 /// Per-benchmark measurement context.
@@ -170,12 +255,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Produce `fn main` running the given groups.
+/// Produce `fn main` running the given groups, then honoring a
+/// `--json <path>` argument via [`finish`].
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::finish();
         }
     };
 }
@@ -204,5 +291,10 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+        let json = results_json();
+        assert!(json.contains("\"name\": \"shim/sum\""));
+        assert!(json.contains("\"name\": \"shim/batched\""));
+        assert!(json.contains("\"samples\": 3"));
+        assert!(json.contains("\"throughput\": {\"elements\": 64}"));
     }
 }

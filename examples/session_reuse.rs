@@ -51,6 +51,11 @@ fn main() {
     let samples = blasys_bench::sample_count_or(10_000);
     println!("Mult6: {} gates, {} samples", nl.gate_count(), samples);
 
+    // `observer` accepts any `impl FlowObserver + 'static` by value
+    // (`.observer(Stages::default())` works). We keep an `Arc` handle
+    // here because the counters are read back after the run — the
+    // blanket `FlowObserver for Arc<T>` impl makes the clone a valid
+    // observer too.
     let observer = Arc::new(Stages::default());
     // Decompose + profile once. `open` validates like `try_run`, so
     // errors surface here instead of panicking.

@@ -14,6 +14,7 @@
 //! | [`circuits`] | `blasys-circuits` | the paper's benchmark generators |
 //! | [`salsa`] | `blasys-salsa` | SALSA comparison baseline |
 //! | [`par`] | `blasys-par` | scoped work-stealing thread pool |
+//! | [`obs`] | `blasys-obs` | spans, metrics registry, flight recorder |
 //!
 //! The `blasys` command-line driver lives in `crates/cli` (binary
 //! only, not re-exported); the experiment harness regenerating the
@@ -24,6 +25,7 @@ pub use blasys_circuits as circuits;
 pub use blasys_core as blasys;
 pub use blasys_decomp as decomp;
 pub use blasys_logic as logic;
+pub use blasys_obs as obs;
 pub use blasys_par as par;
 pub use blasys_salsa as salsa;
 pub use blasys_sat as sat;
