@@ -72,5 +72,33 @@ fn bench_flow(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_flow);
+/// Profile-stage wall time in isolation: the BMF degree ladder per
+/// window, serial vs parallel. `mult4` has more windows than workers
+/// (window-level parallelism); the `threads8` row forces more workers
+/// than windows, pushing the parallelism inside each window's ASSO
+/// candidate scans. Profiles are bit-identical across all rows.
+fn bench_profile_stage(c: &mut Criterion) {
+    use blasys_core::profile::{profile_partition, ProfileConfig};
+    use blasys_decomp::{decompose, DecompConfig};
+
+    let nl = multiplier(4);
+    let part = decompose(&nl, &DecompConfig::default());
+    let mut g = c.benchmark_group("profile");
+    g.sample_size(10);
+    g.bench_function("mult4_serial", |b| {
+        b.iter(|| profile_partition(&nl, &part, &ProfileConfig::default()))
+    });
+    for threads in [2usize, 4, 8] {
+        g.bench_function(format!("mult4_threads{threads}"), |b| {
+            let cfg = ProfileConfig {
+                parallelism: Parallelism::Threads(threads),
+                ..ProfileConfig::default()
+            };
+            b.iter(|| profile_partition(&nl, &part, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_flow, bench_profile_stage);
 criterion_main!(benches);

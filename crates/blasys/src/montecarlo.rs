@@ -49,6 +49,21 @@
 //!    never changes which candidate wins — only how much losing
 //!    candidates cost.
 //!
+//! Two storage-level layers keep the per-block work memory-bound
+//! rather than dispatch-bound:
+//!
+//! * **Multi-word lanes** — the probe engine processes groups of
+//!   `LANES` (4) ×u64 blocks = 256 samples per cone pass: per-cluster
+//!   `Signal` dispatch, change-mask derivation, and input gathers are
+//!   paid once per group and amortize over four words, with a ragged
+//!   tail for block counts that are not a multiple of four. The
+//!   commit/splice and recompute paths take the same group walk.
+//! * **SoA layout** — the [`TableNetwork`] stores inputs, tables,
+//!   cone order, and cone PO lists in flat CSR arrays, and committed
+//!   values / probe overlays live in one flat `Vec<u64>` addressed by
+//!   global output slot × block, so cone propagation walks contiguous
+//!   memory instead of chasing `Vec<Vec<u64>>` indirection.
+//!
 //! The pre-incremental scalar path is retained verbatim as
 //! [`Evaluator::qor_probe_reference`] /
 //! [`Evaluator::qor_current_reference`]: it is the differential-
@@ -107,36 +122,54 @@ pub enum Signal {
     Const(bool),
 }
 
-#[derive(Debug, Clone)]
-struct TnCluster {
-    inputs: Vec<Signal>,
-    /// Current table: `2^k` rows of packed output bits.
-    rows: Vec<u16>,
-    num_outputs: usize,
-}
+/// Words processed per cone pass of the packed probe engine: 4×u64 =
+/// 256 samples per group. Input gathers, change-mask derivation, and
+/// the per-cluster `Signal` dispatch amortize across the group; block
+/// counts that are not a multiple of `LANES` take a ragged tail
+/// (`bw < LANES`) through the same code path.
+const LANES: usize = 4;
 
-/// The primary outputs a cluster's fan-out cone can reach: the only
-/// outputs whose packed values a probe of that cluster must recompute.
-#[derive(Debug, Clone)]
-struct PoCone {
-    /// Bit `o` set ⇔ primary output `o` is in the cone.
-    mask: u64,
-    /// Cone PO indices, ascending.
-    pos: Vec<usize>,
-}
-
-/// The cluster-level table network of a decomposed circuit.
+/// The cluster-level table network of a decomposed circuit, stored as
+/// a flat structure of arrays.
+///
+/// Per-cluster variable-length data (input signals, table rows,
+/// downstream cone order, cone PO lists) lives in shared flat vectors
+/// addressed by CSR-style offset tables, and per-cluster outputs map
+/// to a global *output slot* space (`out_base`). Probe propagation
+/// therefore walks contiguous memory — the cone order `down[..]` is
+/// one sequential slice per cluster, topologically sorted, and every
+/// value/overlay access is arithmetic on one flat `Vec<u64>` — with
+/// no nested `Vec<Vec<…>>` pointer chasing on the hot path.
 #[derive(Debug, Clone)]
 pub struct TableNetwork {
     num_pis: usize,
-    clusters: Vec<TnCluster>,
+    /// Number of clusters.
+    n: usize,
+    /// Flat input signals; cluster `i` owns
+    /// `inputs[input_off[i]..input_off[i + 1]]`.
+    inputs: Vec<Signal>,
+    input_off: Vec<usize>,
+    /// Flat table rows (`2^k` packed-output rows per cluster);
+    /// cluster `i` owns `rows[row_off[i]..row_off[i + 1]]`.
+    rows: Vec<u16>,
+    row_off: Vec<usize>,
+    /// Global output-slot base per cluster (`n + 1` prefix sums):
+    /// output `o` of cluster `i` is slot `out_base[i] + o`, and
+    /// `out_base[n]` is the total output-slot count.
+    out_base: Vec<usize>,
     po_sigs: Vec<Signal>,
-    /// `downstream[i]` = clusters (including `i`) whose value can
-    /// change when cluster `i`'s table changes, in topological order.
-    downstream: Vec<Vec<usize>>,
-    /// `po_cone[i]` = primary outputs driven by some cluster in
-    /// `downstream[i]`.
-    po_cone: Vec<PoCone>,
+    /// Flat downstream cone order: cluster `i`'s cone (itself
+    /// included) is `down[down_off[i]..down_off[i + 1]]`, ascending —
+    /// which is topological, since cluster indices are.
+    down: Vec<usize>,
+    down_off: Vec<usize>,
+    /// Bit `o` of `cone_mask[i]` set ⇔ primary output `o` is
+    /// reachable from cluster `i`'s fan-out cone.
+    cone_mask: Vec<u64>,
+    /// Flat cone PO indices (ascending per cluster): cluster `i`'s
+    /// cone POs are `cone_pos[cone_off[i]..cone_off[i + 1]]`.
+    cone_pos: Vec<usize>,
+    cone_off: Vec<usize>,
 }
 
 impl TableNetwork {
@@ -168,26 +201,35 @@ impl TableNetwork {
             }
         };
 
-        let clusters: Vec<TnCluster> = partition
-            .clusters()
-            .iter()
-            .map(|c| {
-                let tt = cluster_truth_table(nl, c);
-                let rows: Vec<u16> = (0..tt.rows()).map(|r| tt.row_value(r) as u16).collect();
-                TnCluster {
-                    inputs: c.inputs().iter().map(|&n| signal_of(n)).collect(),
-                    rows,
-                    num_outputs: c.outputs().len(),
-                }
-            })
-            .collect();
+        let n = partition.clusters().len();
+        let mut inputs = Vec::new();
+        let mut input_off = Vec::with_capacity(n + 1);
+        input_off.push(0);
+        let mut rows = Vec::new();
+        let mut row_off = Vec::with_capacity(n + 1);
+        row_off.push(0);
+        let mut out_base = Vec::with_capacity(n + 1);
+        out_base.push(0usize);
+        for c in partition.clusters() {
+            assert!(
+                c.outputs().len() <= 16,
+                "cluster outputs must fit a u16 table row"
+            );
+            assert!(c.inputs().len() <= 16, "cluster row indices must fit a u16");
+            let tt = cluster_truth_table(nl, c);
+            rows.extend((0..tt.rows()).map(|r| tt.row_value(r) as u16));
+            row_off.push(rows.len());
+            inputs.extend(c.inputs().iter().map(|&node| signal_of(node)));
+            input_off.push(inputs.len());
+            out_base.push(out_base.last().unwrap() + c.outputs().len());
+        }
         let po_sigs: Vec<Signal> = nl.outputs().iter().map(|o| signal_of(o.node())).collect();
 
-        // Transitive downstream sets over the cluster DAG.
-        let n = clusters.len();
+        // Transitive downstream sets over the cluster DAG, flattened
+        // in CSR form (ascending per cluster = topological).
         let mut direct_users: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (ci, c) in clusters.iter().enumerate() {
-            for sig in &c.inputs {
+        for ci in 0..n {
+            for sig in &inputs[input_off[ci]..input_off[ci + 1]] {
                 if let Signal::ClusterOut { idx, .. } = sig {
                     if !direct_users[*idx].contains(&ci) {
                         direct_users[*idx].push(ci);
@@ -195,8 +237,14 @@ impl TableNetwork {
                 }
             }
         }
-        let mut downstream: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for i in (0..n).rev() {
+        let mut down = Vec::new();
+        let mut down_off = Vec::with_capacity(n + 1);
+        down_off.push(0usize);
+        let mut cone_mask = Vec::with_capacity(n);
+        let mut cone_pos = Vec::new();
+        let mut cone_off = Vec::with_capacity(n + 1);
+        cone_off.push(0usize);
+        for i in 0..n {
             let mut mark = vec![false; n];
             mark[i] = true;
             for j in i..n {
@@ -206,51 +254,52 @@ impl TableNetwork {
                     }
                 }
             }
-            downstream[i] = (i..n).filter(|&j| mark[j]).collect();
-        }
+            down.extend((i..n).filter(|&j| mark[j]));
+            down_off.push(down.len());
 
-        let po_cone: Vec<PoCone> = (0..n)
-            .map(|ci| {
-                let mut in_cone = vec![false; n];
-                for &d in &downstream[ci] {
-                    in_cone[d] = true;
-                }
-                let mut mask = 0u64;
-                let mut pos = Vec::new();
-                for (o, sig) in po_sigs.iter().enumerate() {
-                    if let Signal::ClusterOut { idx, .. } = sig {
-                        if in_cone[*idx] {
-                            mask |= 1u64 << o;
-                            pos.push(o);
-                        }
+            let mut mask = 0u64;
+            for (o, sig) in po_sigs.iter().enumerate() {
+                if let Signal::ClusterOut { idx, .. } = sig {
+                    if mark[*idx] {
+                        mask |= 1u64 << o;
+                        cone_pos.push(o);
                     }
                 }
-                PoCone { mask, pos }
-            })
-            .collect();
+            }
+            cone_mask.push(mask);
+            cone_off.push(cone_pos.len());
+        }
 
         TableNetwork {
             num_pis: nl.num_inputs(),
-            clusters,
+            n,
+            inputs,
+            input_off,
+            rows,
+            row_off,
+            out_base,
             po_sigs,
-            downstream,
-            po_cone,
+            down,
+            down_off,
+            cone_mask,
+            cone_pos,
+            cone_off,
         }
     }
 
     /// Number of clusters.
     pub fn len(&self) -> usize {
-        self.clusters.len()
+        self.n
     }
 
     /// Whether the network has no clusters.
     pub fn is_empty(&self) -> bool {
-        self.clusters.is_empty()
+        self.n == 0
     }
 
     /// The current table of one cluster.
     pub fn table(&self, cluster: usize) -> &[u16] {
-        &self.clusters[cluster].rows
+        &self.rows[self.row_off[cluster]..self.row_off[cluster + 1]]
     }
 
     /// Install a new table for a cluster.
@@ -259,30 +308,33 @@ impl TableNetwork {
     ///
     /// Panics if the row count differs from the installed table.
     pub fn set_table(&mut self, cluster: usize, rows: Vec<u16>) {
+        let slice = &mut self.rows[self.row_off[cluster]..self.row_off[cluster + 1]];
         assert_eq!(
             rows.len(),
-            self.clusters[cluster].rows.len(),
+            slice.len(),
             "table shape must match the cluster window"
         );
-        self.clusters[cluster].rows = rows;
+        slice.copy_from_slice(&rows);
     }
 
-    /// Clusters affected by a change to `cluster` (itself included).
+    /// Clusters affected by a change to `cluster` (itself included),
+    /// in topological order — one contiguous slice of the flat cone
+    /// array.
     pub fn downstream(&self, cluster: usize) -> &[usize] {
-        &self.downstream[cluster]
+        &self.down[self.down_off[cluster]..self.down_off[cluster + 1]]
     }
 
     /// Primary outputs reachable from `cluster`'s fan-out cone
     /// (ascending indices): the only outputs a QoR probe of this
     /// cluster has to recompute.
     pub fn po_cone(&self, cluster: usize) -> &[usize] {
-        &self.po_cone[cluster].pos
+        &self.cone_pos[self.cone_off[cluster]..self.cone_off[cluster + 1]]
     }
 
     /// Packed form of [`TableNetwork::po_cone`]: bit `o` set ⇔ output
     /// `o` is in the cone.
     pub fn po_cone_mask(&self, cluster: usize) -> u64 {
-        self.po_cone[cluster].mask
+        self.cone_mask[cluster]
     }
 
     /// Number of primary inputs of the underlying circuit.
@@ -293,6 +345,28 @@ impl TableNetwork {
     /// Number of primary outputs of the underlying circuit.
     pub fn num_pos(&self) -> usize {
         self.po_sigs.len()
+    }
+
+    /// Input signals of one cluster.
+    fn inputs_of(&self, cluster: usize) -> &[Signal] {
+        &self.inputs[self.input_off[cluster]..self.input_off[cluster + 1]]
+    }
+
+    /// Number of outputs of one cluster.
+    fn num_outputs_of(&self, cluster: usize) -> usize {
+        self.out_base[cluster + 1] - self.out_base[cluster]
+    }
+
+    /// Global output-slot base of one cluster: output `o` of `cluster`
+    /// occupies flat slot `out_base_of(cluster) + o`.
+    fn out_base_of(&self, cluster: usize) -> usize {
+        self.out_base[cluster]
+    }
+
+    /// Total output-slot count (the size of one block column of the
+    /// flat value / overlay arrays).
+    fn total_outputs(&self) -> usize {
+        self.out_base[self.n]
     }
 }
 
@@ -348,10 +422,12 @@ fn eval_block(inputs: &[Signal], rows: &[u16], resolve: impl Fn(Signal) -> u64, 
 pub struct ProbeState {
     /// Current probe epoch; bumped at the start of every probe.
     epoch: u64,
-    /// `valid[ci] == epoch` ⇔ `overlay[ci]` holds this probe's values.
+    /// `valid[ci] == epoch` ⇔ cluster `ci`'s overlay slots hold this
+    /// probe's values.
     valid: Vec<u64>,
-    /// Overlay values, `overlay[ci][out * blocks + block]`.
-    overlay: Vec<Vec<u64>>,
+    /// Flat overlay values, indexed like the evaluator's committed
+    /// values: `overlay[(out_base_of(ci) + o) * blocks + block]`.
+    overlay: Vec<u64>,
     /// Per-block cluster-output scratch (hoisted out of the probe
     /// loop; sized to the widest cluster on first use).
     out_scratch: Vec<u64>,
@@ -359,11 +435,17 @@ pub struct ProbeState {
     /// accumulation ([`Evaluator::qor_probe_reference`]); the packed
     /// path works on fixed 64-word stack blocks instead.
     po_words: Vec<u64>,
-    /// `changed[ci]` = lanes of the current block where cluster `ci`'s
-    /// probed value differs from its committed value. Written for
-    /// every cone cluster before any cone consumer reads it (block
-    /// loop, topological order), so no per-block reset is needed.
+    /// `changed[ci * LANES + w]` = lanes of word `w` of the current
+    /// group where cluster `ci`'s probed value differs from its
+    /// committed value. Written for every cone cluster before any cone
+    /// consumer reads it (group loop, topological order), so no
+    /// per-group reset is needed.
     changed: Vec<u64>,
+    /// Scratch bitmap over the probed cluster's table rows: bit `r`
+    /// set ⇔ the candidate's row `r` differs from the committed row.
+    /// Combined with the evaluator's cached committed row indices it
+    /// yields the root cluster's exact change mask per block.
+    row_diff: Vec<u64>,
 }
 
 /// A reusable QoR evaluator: fixed stimulus, golden outputs from the
@@ -380,35 +462,44 @@ pub struct Evaluator {
     stimulus: Vec<Vec<u64>>,
     /// Golden output value per sample.
     golden: Vec<u64>,
-    /// Golden outputs in per-output word form:
-    /// `golden_words[po][block]`.
-    golden_words: Vec<Vec<u64>>,
-    /// Cached cluster-output words of the *committed* network:
-    /// `values[cluster][output][block]`.
-    values: Vec<Vec<Vec<u64>>>,
+    /// Golden outputs in per-output word form, flat:
+    /// `golden_words[po * blocks + block]`.
+    golden_words: Vec<u64>,
+    /// Cached cluster-output words of the *committed* network, flat
+    /// over global output slots:
+    /// `values[(out_base_of(ci) + o) * blocks + block]` — each
+    /// output's blocks are contiguous, so group copies are
+    /// `copy_from_slice` on one flat array.
+    values: Vec<u64>,
     /// Cached packed per-sample output values of the *committed*
     /// network (`committed_po[sample]`), refreshed incrementally on
     /// commit. Probes splice their cone POs' recomputed bits into
     /// these values instead of re-deriving every output.
     committed_po: Vec<u64>,
-    /// `committed_diff[po][block]` = committed PO word XOR golden
-    /// word: the lanes where the committed network already errs on
-    /// that output.
-    committed_diff: Vec<Vec<u64>>,
+    /// `committed_diff[po * blocks + block]` = committed PO word XOR
+    /// golden word: the lanes where the committed network already errs
+    /// on that output.
+    committed_diff: Vec<u64>,
     /// `committed_mism[block]` = OR of `committed_diff` over every PO:
     /// the lanes where the committed network errs at all (drives the
     /// skip-correct fast path of [`Evaluator::qor_current`]).
     committed_mism: Vec<u64>,
-    /// `outside_mism[cluster][block]` = OR of `committed_diff` over
-    /// the POs *outside* the cluster's cone: the mismatching lanes a
-    /// probe of that cluster inherits and cannot affect.
-    outside_mism: Vec<Vec<u64>>,
+    /// `outside_mism[cluster * blocks + block]` = OR of
+    /// `committed_diff` over the POs *outside* the cluster's cone: the
+    /// mismatching lanes a probe of that cluster inherits and cannot
+    /// affect.
+    outside_mism: Vec<u64>,
+    /// `row_idx[cluster * samples + sample]` = the table row index
+    /// cluster `cluster` looks up for `sample` under the *committed*
+    /// input values (a free by-product of [`Evaluator::recompute_cluster`]'s
+    /// first transpose). A probe's root cluster reads only committed
+    /// inputs, so its probed outputs are `rows[row_idx[..]]` — the
+    /// probe derives its true change mask from the candidate-vs-
+    /// committed changed-row set instead of assuming every lane moved.
+    row_idx: Vec<u16>,
     blocks: usize,
     samples: usize,
     output_bits: usize,
-    /// Reusable per-block scratch for the `&mut self` recompute path
-    /// (commit); probes use their `ProbeState`'s scratch instead.
-    scratch_out: Vec<u64>,
     /// Optional engine counters ([`QorCounters`]), shared by every
     /// clone of this evaluator so a session's explorations accumulate
     /// into one block. `None` (the default) keeps the probe path free
@@ -498,7 +589,7 @@ impl Evaluator {
         // per-sample values.
         let num_pos = nl.num_outputs();
         let mut golden = vec![0u64; samples];
-        let mut golden_words = vec![vec![0u64; blocks]; num_pos];
+        let mut golden_words = vec![0u64; num_pos * blocks];
         let mut sim = Simulator::new(nl);
         let mut words = vec![0u64; nl.num_inputs()];
         for b in 0..blocks {
@@ -507,7 +598,7 @@ impl Evaluator {
             }
             let out = sim.run(&words);
             for (o, &w) in out.iter().enumerate() {
-                golden_words[o][b] = w;
+                golden_words[o * blocks + b] = w;
             }
             let mut m = [0u64; 64];
             m[..out.len()].copy_from_slice(out);
@@ -515,25 +606,21 @@ impl Evaluator {
             golden[b * 64..(b + 1) * 64].copy_from_slice(&m);
         }
 
-        let num_clusters = network.clusters.len();
+        let num_clusters = network.len();
         let mut ev = Evaluator {
-            values: network
-                .clusters
-                .iter()
-                .map(|c| vec![vec![0u64; blocks]; c.num_outputs])
-                .collect(),
+            values: vec![0u64; network.total_outputs() * blocks],
             network,
             stimulus,
             golden,
             golden_words,
             committed_po: vec![0u64; samples],
-            committed_diff: vec![vec![0u64; blocks]; num_pos],
+            committed_diff: vec![0u64; num_pos * blocks],
             committed_mism: vec![0u64; blocks],
-            outside_mism: vec![vec![0u64; blocks]; num_clusters],
+            outside_mism: vec![0u64; num_clusters * blocks],
+            row_idx: vec![0u16; num_clusters * samples],
             blocks,
             samples,
             output_bits: num_pos,
-            scratch_out: Vec::new(),
             counters: None,
         };
         ev.recompute_all();
@@ -569,25 +656,18 @@ impl Evaluator {
     /// A probe overlay sized for this evaluator. Build one per thread
     /// and reuse it across probes; see [`ProbeState`].
     pub fn probe_state(&self) -> ProbeState {
-        let max_out = self
-            .network
-            .clusters
-            .iter()
-            .map(|c| c.num_outputs)
+        let max_out = (0..self.network.len())
+            .map(|ci| self.network.num_outputs_of(ci))
             .max()
             .unwrap_or(0);
         ProbeState {
             epoch: 0,
-            valid: vec![0; self.network.clusters.len()],
-            overlay: self
-                .network
-                .clusters
-                .iter()
-                .map(|c| vec![0u64; c.num_outputs * self.blocks])
-                .collect(),
+            valid: vec![0; self.network.len()],
+            overlay: vec![0u64; self.network.total_outputs() * self.blocks],
             out_scratch: Vec::with_capacity(max_out),
             po_words: Vec::with_capacity(self.network.po_sigs.len()),
-            changed: vec![0; self.network.clusters.len()],
+            changed: vec![0; self.network.len() * LANES],
+            row_diff: Vec::new(),
         }
     }
 
@@ -595,7 +675,9 @@ impl Evaluator {
     fn committed_word(&self, sig: Signal, block: usize) -> u64 {
         match sig {
             Signal::Pi(i) => self.stimulus[i][block],
-            Signal::ClusterOut { idx, out } => self.values[idx][out][block],
+            Signal::ClusterOut { idx, out } => {
+                self.values[(self.network.out_base_of(idx) + out) * self.blocks + block]
+            }
             Signal::Const(false) => 0,
             Signal::Const(true) => !0,
         }
@@ -669,49 +751,57 @@ impl Evaluator {
     /// `rows` does not match the cluster's table shape.
     fn probe_cone(&self, state: &mut ProbeState, cluster: usize, rows: &[u16]) {
         assert_eq!(
-            state.overlay.len(),
-            self.network.clusters.len(),
+            state.valid.len(),
+            self.network.len(),
             "probe state must be built by this evaluator"
         );
         assert_eq!(
             rows.len(),
-            self.network.clusters[cluster].rows.len(),
+            self.network.table(cluster).len(),
             "table shape must match the cluster window"
         );
         state.epoch += 1;
         let epoch = state.epoch;
         let blocks = self.blocks;
+        let ProbeState {
+            valid,
+            overlay,
+            out_scratch,
+            ..
+        } = state;
         for &ci in self.network.downstream(cluster) {
-            let c = &self.network.clusters[ci];
-            let use_rows: &[u16] = if ci == cluster { rows } else { &c.rows };
-            // Detach this cluster's overlay strip so the resolver can
-            // read the rest of the state while we fill it. A cluster
-            // never reads its own outputs (combinational DAG), so the
-            // temporarily empty slot is unobservable.
-            let mut mine = std::mem::take(&mut state.overlay[ci]);
-            debug_assert_eq!(mine.len(), c.num_outputs * blocks);
-            let mut out = std::mem::take(&mut state.out_scratch);
-            out.clear();
-            out.resize(c.num_outputs, 0);
+            let ins = self.network.inputs_of(ci);
+            let m = self.network.num_outputs_of(ci);
+            let base = self.network.out_base_of(ci);
+            let use_rows: &[u16] = if ci == cluster {
+                rows
+            } else {
+                self.network.table(ci)
+            };
+            out_scratch.clear();
+            out_scratch.resize(m, 0);
             for b in 0..blocks {
+                // The resolver reads the overlay immutably inside
+                // `eval_block`; the writes land after it returns, and
+                // a cluster never reads its own outputs
+                // (combinational DAG), so `valid[ci]` being stale
+                // during the fill is unobservable.
                 eval_block(
-                    &c.inputs,
+                    ins,
                     use_rows,
                     |sig| match sig {
-                        Signal::ClusterOut { idx, out } if state.valid[idx] == epoch => {
-                            state.overlay[idx][out * blocks + b]
+                        Signal::ClusterOut { idx, out } if valid[idx] == epoch => {
+                            overlay[(self.network.out_base_of(idx) + out) * blocks + b]
                         }
                         other => self.committed_word(other, b),
                     },
-                    &mut out,
+                    out_scratch,
                 );
-                for (o, &w) in out.iter().enumerate() {
-                    mine[o * blocks + b] = w;
+                for (o, &w) in out_scratch.iter().enumerate() {
+                    overlay[(base + o) * blocks + b] = w;
                 }
             }
-            state.out_scratch = out;
-            state.overlay[ci] = mine;
-            state.valid[ci] = epoch;
+            valid[ci] = epoch;
         }
     }
 
@@ -782,13 +872,13 @@ impl Evaluator {
         bound: impl Fn() -> f64,
     ) -> Option<QorReport> {
         assert_eq!(
-            state.overlay.len(),
-            self.network.clusters.len(),
+            state.valid.len(),
+            self.network.len(),
             "probe state must be built by this evaluator"
         );
         assert_eq!(
             rows.len(),
-            self.network.clusters[cluster].rows.len(),
+            self.network.table(cluster).len(),
             "table shape must match the cluster window"
         );
         state.epoch += 1;
@@ -798,156 +888,313 @@ impl Evaluator {
         // zero-observability path pays only the final `None` check.
         let mut tally = ProbeTally::default();
         let cone_clusters = self.network.downstream(cluster);
-        let cone = &self.network.po_cone[cluster];
-        let keep = !cone.mask;
+        let cone_pos = self.network.po_cone(cluster);
+        let keep = !self.network.po_cone_mask(cluster);
         let mut acc = QorAccumulator::new(self.output_bits);
         let ProbeState {
             valid,
             overlay,
             changed,
+            row_diff,
             ..
         } = state;
-        // Marking the whole cone valid up front is sound: the block
-        // loop below writes a producer's block-`b` words before any
+        // Candidate-vs-committed changed-row bitmap. The root
+        // cluster's inputs are committed (its producers sit outside
+        // its own cone), so its committed per-lane row indices are
+        // still valid under the probe: a lane's output moves iff its
+        // index hits a changed row. This replaces the old "assume
+        // every root lane changed" full eval — a candidate close to
+        // the committed table probes in near-zero time.
+        let committed_rows = self.network.table(cluster);
+        row_diff.clear();
+        row_diff.resize(committed_rows.len().div_ceil(64), 0);
+        let mut any_changed = false;
+        for (r, (&new_r, &old_r)) in rows.iter().zip(committed_rows).enumerate() {
+            if new_r != old_r {
+                row_diff[r >> 6] |= 1u64 << (r & 63);
+                any_changed = true;
+            }
+        }
+        // Marking the whole cone valid up front is sound: the group
+        // loop below writes a producer's group words before any
         // consumer (topological order) reads them, and nothing reads
-        // other blocks.
+        // other groups.
         for &ci in cone_clusters {
             valid[ci] = epoch;
         }
-        let mut out = [0u64; 64];
-        for b in 0..blocks {
-            // Recompute the cone for this block only — block `b`
-            // values depend only on block `b` inputs, which lets a
-            // pruned probe abandon the remaining blocks' cone work
-            // too, not just their accumulation. Change propagation:
-            // a cone cluster none of whose inputs changed in this
-            // block holds exactly its committed values, so it is
-            // copied, not re-evaluated — deep in the cone, probe cost
-            // tracks the lanes the candidate actually flips.
+        let mut out = [0u64; 16];
+        // Per-group active-input set for consumer clusters: input slot
+        // indices whose diff words are non-zero this group, and those
+        // diff words. At most 16 inputs per cluster (asserted by
+        // `TableNetwork::new`).
+        let mut nact = 0usize;
+        let mut act = [0usize; 16];
+        let mut dif4 = [[0u64; LANES]; 16];
+        let mut g0 = 0usize;
+        while g0 < blocks {
+            // One cone pass covers a group of up to LANES words (256
+            // samples): the per-cluster Signal dispatch, change-mask
+            // derivation, and input gathers run once per group instead
+            // of once per 64-sample block. A ragged tail (`bw < LANES`
+            // when the block count is not a multiple of LANES) flows
+            // through the same code with a shorter group. Group `g`
+            // values depend only on group `g` inputs, so a pruned
+            // probe abandons the remaining groups' cone work too, not
+            // just their accumulation. Change propagation: a cone
+            // cluster none of whose input words changed holds exactly
+            // its committed values and is copied, not re-evaluated —
+            // deep in the cone, probe cost tracks the lanes the
+            // candidate actually flips.
+            let bw = (blocks - g0).min(LANES);
             for &ci in cone_clusters {
-                let c = &self.network.clusters[ci];
-                let delta = if ci == cluster {
-                    !0u64 // swapped rows: outputs may change anywhere
+                let m = self.network.num_outputs_of(ci);
+                let base = self.network.out_base_of(ci);
+                let mut dw = [0u64; LANES];
+                if ci == cluster {
+                    // Root cluster: exact change mask from the cached
+                    // committed row indices × the changed-row bitmap.
+                    if any_changed {
+                        for (w, d) in dw[..bw].iter_mut().enumerate() {
+                            let idxs =
+                                &self.row_idx[cluster * self.samples + (g0 + w) * 64..][..64];
+                            let mut dd = 0u64;
+                            for (lane, &ix) in idxs.iter().enumerate() {
+                                dd |= (row_diff[(ix >> 6) as usize] >> (ix & 63) & 1) << lane;
+                            }
+                            *d = dd;
+                        }
+                    }
                 } else {
-                    let mut d = 0u64;
-                    for sig in &c.inputs {
-                        if let Signal::ClusterOut { idx, .. } = sig {
-                            if valid[*idx] == epoch {
-                                d |= changed[*idx];
+                    // Exact per-input diff words: only cone-internal
+                    // producer outputs can move, and the consumed
+                    // output's own diff is sharper than the producer's
+                    // any-output `changed` rollup — lanes where only a
+                    // sibling output flipped are not re-evaluated.
+                    nact = 0;
+                    for (i, &sig) in self.network.inputs_of(ci).iter().enumerate() {
+                        if let Signal::ClusterOut { idx, out } = sig {
+                            if valid[idx] == epoch {
+                                let off = (self.network.out_base_of(idx) + out) * blocks + g0;
+                                let mut dd = [0u64; LANES];
+                                let mut nonzero = 0u64;
+                                for (w, d) in dd[..bw].iter_mut().enumerate() {
+                                    if changed[idx * LANES + w] != 0 {
+                                        *d = overlay[off + w] ^ self.values[off + w];
+                                        nonzero |= *d;
+                                    }
+                                }
+                                if nonzero != 0 {
+                                    act[nact] = i;
+                                    dif4[nact] = dd;
+                                    nact += 1;
+                                }
                             }
                         }
                     }
-                    d
-                };
-                if delta == 0 {
-                    tally.cone_hits += 1;
-                    for o in 0..c.num_outputs {
-                        overlay[ci][o * blocks + b] = self.values[ci][o][b];
+                    for (w, d) in dw[..bw].iter_mut().enumerate() {
+                        for df in &dif4[..nact] {
+                            *d |= df[w];
+                        }
                     }
-                    changed[ci] = 0;
+                }
+                if dw[..bw].iter().all(|&d| d == 0) {
+                    // Whole group unchanged: nothing is copied —
+                    // `changed == 0` tells every consumer (and the
+                    // accumulation below) to read the committed words
+                    // directly, which are bit-identical by definition.
+                    tally.cone_hits += bw as u64;
+                    changed[ci * LANES..ci * LANES + bw].fill(0);
                     continue;
                 }
-                tally.cone_misses += 1;
-                let use_rows: &[u16] = if ci == cluster { rows } else { &c.rows };
-                let resolve = |sig| match sig {
-                    Signal::ClusterOut { idx, out } if valid[idx] == epoch => {
-                        overlay[idx][out * blocks + b]
-                    }
-                    other => self.committed_word(other, b),
-                };
-                let k = c.inputs.len();
-                let m = c.num_outputs;
-                let cnt = delta.count_ones() as usize;
-                if ci != cluster && cnt * (k + m) < 768 {
-                    tally.lanes += cnt as u64;
-                    // Sparse update: the cluster's table is unchanged
-                    // and only `cnt` lanes of its inputs moved, so
-                    // start from the committed words and re-evaluate
-                    // just those lanes (a full block eval costs two
-                    // 64×64 transposes regardless of sparsity).
-                    let mut in_words = [0u64; 64];
-                    for (i, &sig) in c.inputs.iter().enumerate() {
-                        in_words[i] = resolve(sig);
-                    }
-                    for (o, ow) in out[..m].iter_mut().enumerate() {
-                        *ow = self.values[ci][o][b];
-                    }
-                    let mut w = delta;
-                    while w != 0 {
-                        let lane = w.trailing_zeros() as usize;
-                        w &= w - 1;
-                        let mut idx = 0usize;
-                        for (i, iw) in in_words[..k].iter().enumerate() {
-                            idx |= ((iw >> lane & 1) as usize) << i;
+                if ci == cluster {
+                    // Root cluster: no input resolution at all — lane
+                    // row indices are the committed ones, so probed
+                    // outputs are plain `rows[...]` lookups (sparse
+                    // patch or one scatter transpose).
+                    for (w, &delta) in dw[..bw].iter().enumerate() {
+                        let b = g0 + w;
+                        if delta == 0 {
+                            tally.cone_hits += 1;
+                            changed[ci * LANES + w] = 0;
+                            continue;
                         }
-                        let row = use_rows[idx] as u64;
+                        tally.cone_misses += 1;
+                        let cnt = delta.count_ones() as usize;
+                        let idxs = &self.row_idx[cluster * self.samples + b * 64..][..64];
+                        if cnt * (m + 2) < 448 {
+                            tally.lanes += cnt as u64;
+                            for (o, ow) in out[..m].iter_mut().enumerate() {
+                                *ow = self.values[(base + o) * blocks + b];
+                            }
+                            let mut lw = delta;
+                            while lw != 0 {
+                                let lane = lw.trailing_zeros() as usize;
+                                lw &= lw - 1;
+                                let row = rows[idxs[lane] as usize] as u64;
+                                for (o, ow) in out[..m].iter_mut().enumerate() {
+                                    *ow = (*ow & !(1u64 << lane)) | ((row >> o & 1) << lane);
+                                }
+                            }
+                        } else {
+                            tally.lanes += 64;
+                            let mut mm = [0u64; 64];
+                            for (lane, &ix) in idxs.iter().enumerate() {
+                                mm[lane] = rows[ix as usize] as u64;
+                            }
+                            transpose64(&mut mm);
+                            out[..m].copy_from_slice(&mm[..m]);
+                        }
+                        let mut ch = 0u64;
+                        for (o, &ov) in out[..m].iter().enumerate() {
+                            let off = (base + o) * blocks + b;
+                            overlay[off] = ov;
+                            ch |= ov ^ self.values[off];
+                        }
+                        changed[ci * LANES + w] = ch;
+                    }
+                    continue;
+                }
+                let ins = self.network.inputs_of(ci);
+                let use_rows: &[u16] = self.network.table(ci);
+                for (w, &delta) in dw[..bw].iter().enumerate() {
+                    let b = g0 + w;
+                    if delta == 0 {
+                        tally.cone_hits += 1;
+                        changed[ci * LANES + w] = 0;
+                        continue;
+                    }
+                    tally.cone_misses += 1;
+                    let cnt = delta.count_ones() as usize;
+                    if cnt * (nact + m + 2) < 448 {
+                        tally.lanes += cnt as u64;
+                        // Sparse update via cached committed row
+                        // indices: a lane's probed index is the
+                        // committed one with the active inputs' diff
+                        // bits XORed in, so no input gather and no
+                        // index rebuild — per lane cost is one table
+                        // lookup plus `nact + m` bit ops. Start from
+                        // the committed words and patch just the
+                        // changed lanes.
                         for (o, ow) in out[..m].iter_mut().enumerate() {
-                            *ow = (*ow & !(1u64 << lane)) | ((row >> o & 1) << lane);
+                            *ow = self.values[(base + o) * blocks + b];
+                        }
+                        let idxs = &self.row_idx[ci * self.samples + b * 64..][..64];
+                        let mut lw = delta;
+                        while lw != 0 {
+                            let lane = lw.trailing_zeros() as usize;
+                            lw &= lw - 1;
+                            let mut idx = idxs[lane] as usize;
+                            for (j, df) in dif4[..nact].iter().enumerate() {
+                                idx ^= ((df[w] >> lane & 1) as usize) << act[j];
+                            }
+                            let row = use_rows[idx] as u64;
+                            for (o, ow) in out[..m].iter_mut().enumerate() {
+                                *ow = (*ow & !(1u64 << lane)) | ((row >> o & 1) << lane);
+                            }
+                        }
+                    } else {
+                        tally.lanes += 64;
+                        // Dense block: gather this word's input words
+                        // (overlay only where the producer actually
+                        // changed) and run the two-transpose full eval.
+                        let mut mm = [0u64; 64];
+                        for (i, &sig) in ins.iter().enumerate() {
+                            mm[i] = match sig {
+                                Signal::Pi(p) => self.stimulus[p][b],
+                                Signal::ClusterOut { idx, out } => {
+                                    let off = (self.network.out_base_of(idx) + out) * blocks + b;
+                                    if valid[idx] == epoch && changed[idx * LANES + w] != 0 {
+                                        overlay[off]
+                                    } else {
+                                        self.values[off]
+                                    }
+                                }
+                                Signal::Const(false) => 0,
+                                Signal::Const(true) => !0u64,
+                            };
+                        }
+                        transpose64(&mut mm);
+                        for v in mm.iter_mut() {
+                            *v = use_rows[*v as usize] as u64;
+                        }
+                        transpose64(&mut mm);
+                        out[..m].copy_from_slice(&mm[..m]);
+                    }
+                    let mut ch = 0u64;
+                    for (o, &ov) in out[..m].iter().enumerate() {
+                        let off = (base + o) * blocks + b;
+                        overlay[off] = ov;
+                        ch |= ov ^ self.values[off];
+                    }
+                    changed[ci * LANES + w] = ch;
+                }
+            }
+            // Accumulate the group's blocks in ascending order —
+            // exactly the reference push order: gather the cone POs'
+            // patch words, find the lanes whose value differs from
+            // golden (inherited out-of-cone mismatches ∪ fresh cone
+            // mismatches), and batch-count the rest as correct.
+            for b in g0..g0 + bw {
+                let mut mism = self.outside_mism[cluster * blocks + b];
+                let mut pw = [0u64; 64];
+                for (slot, &o) in cone_pos.iter().enumerate() {
+                    let Signal::ClusterOut { idx, out } = self.network.po_sigs[o] else {
+                        unreachable!("cone POs are cluster-driven by construction");
+                    };
+                    let off = (self.network.out_base_of(idx) + out) * blocks + b;
+                    // An unchanged driver's probed word equals its
+                    // committed word, whose golden diff is cached.
+                    if changed[idx * LANES + (b - g0)] != 0 {
+                        let w = overlay[off];
+                        pw[slot] = w;
+                        mism |= w ^ self.golden_words[o * blocks + b];
+                    } else {
+                        pw[slot] = self.values[off];
+                        mism |= self.committed_diff[o * blocks + b];
+                    }
+                }
+                let wrong = mism.count_ones() as usize;
+                acc.push_correct(64 - wrong);
+                if wrong > 0 {
+                    let width = cone_pos.len();
+                    if wrong * width > 448 {
+                        // Dense block: one word-level transpose beats
+                        // per-lane bit gathering.
+                        let mut m = [0u64; 64];
+                        for (slot, &o) in cone_pos.iter().enumerate() {
+                            m[o] = pw[slot];
+                        }
+                        transpose64(&mut m);
+                        let mut w = mism;
+                        while w != 0 {
+                            let lane = w.trailing_zeros() as usize;
+                            w &= w - 1;
+                            let s = b * 64 + lane;
+                            acc.push(self.golden[s], (self.committed_po[s] & keep) | m[lane]);
+                        }
+                    } else {
+                        let mut w = mism;
+                        while w != 0 {
+                            let lane = w.trailing_zeros() as usize;
+                            w &= w - 1;
+                            let s = b * 64 + lane;
+                            let mut v = self.committed_po[s] & keep;
+                            for (slot, &o) in cone_pos.iter().enumerate() {
+                                v |= (pw[slot] >> lane & 1) << o;
+                            }
+                            acc.push(self.golden[s], v);
                         }
                     }
-                } else {
-                    tally.lanes += 64;
-                    eval_block(&c.inputs, use_rows, resolve, &mut out[..m]);
                 }
-                let mut ch = 0u64;
-                for (o, &w) in out[..m].iter().enumerate() {
-                    overlay[ci][o * blocks + b] = w;
-                    ch |= w ^ self.values[ci][o][b];
-                }
-                changed[ci] = ch;
-            }
-            // Accumulate: gather the cone POs' patch words, find the
-            // lanes whose value differs from golden (inherited
-            // out-of-cone mismatches ∪ fresh cone mismatches), and
-            // batch-count the rest as correct.
-            let mut mism = self.outside_mism[cluster][b];
-            let mut pw = [0u64; 64];
-            for (slot, &o) in cone.pos.iter().enumerate() {
-                let Signal::ClusterOut { idx, out } = self.network.po_sigs[o] else {
-                    unreachable!("cone POs are cluster-driven by construction");
-                };
-                let w = overlay[idx][out * blocks + b];
-                pw[slot] = w;
-                mism |= w ^ self.golden_words[o][b];
-            }
-            let wrong = mism.count_ones() as usize;
-            acc.push_correct(64 - wrong);
-            if wrong > 0 {
-                let width = cone.pos.len();
-                if wrong * width > 448 {
-                    // Dense block: one word-level transpose beats
-                    // per-lane bit gathering.
-                    let mut m = [0u64; 64];
-                    for (slot, &o) in cone.pos.iter().enumerate() {
-                        m[o] = pw[slot];
-                    }
-                    transpose64(&mut m);
-                    let mut w = mism;
-                    while w != 0 {
-                        let lane = w.trailing_zeros() as usize;
-                        w &= w - 1;
-                        let s = b * 64 + lane;
-                        acc.push(self.golden[s], (self.committed_po[s] & keep) | m[lane]);
-                    }
-                } else {
-                    let mut w = mism;
-                    while w != 0 {
-                        let lane = w.trailing_zeros() as usize;
-                        w &= w - 1;
-                        let s = b * 64 + lane;
-                        let mut v = self.committed_po[s] & keep;
-                        for (slot, &o) in cone.pos.iter().enumerate() {
-                            v |= (pw[slot] >> lane & 1) << o;
-                        }
-                        acc.push(self.golden[s], v);
-                    }
+                // Prune at the same per-block granularity as before:
+                // only the cone recompute coarsened to groups.
+                let b_now = bound();
+                if b_now.is_finite() && acc.partial_value(metric, self.samples) > b_now {
+                    tally.flush(self.counters.as_deref(), true);
+                    return None;
                 }
             }
-            let b_now = bound();
-            if b_now.is_finite() && acc.partial_value(metric, self.samples) > b_now {
-                tally.flush(self.counters.as_deref(), true);
-                return None;
-            }
+            g0 += bw;
         }
         tally.flush(self.counters.as_deref(), false);
         let report = acc.finish();
@@ -979,7 +1226,7 @@ impl Evaluator {
         let mut po_words = std::mem::take(&mut state.po_words);
         let report = self.qor_via(&mut po_words, |sig, b| match sig {
             Signal::ClusterOut { idx, out } if state.valid[idx] == epoch => {
-                state.overlay[idx][out * blocks + b]
+                state.overlay[(self.network.out_base_of(idx) + out) * blocks + b]
             }
             other => self.committed_word(other, b),
         });
@@ -1007,8 +1254,9 @@ impl Evaluator {
         for ci in affected {
             self.recompute_cluster(ci);
         }
-        let cone = self.network.po_cone[cluster].clone();
-        self.patch_committed_po(&cone.pos, cone.mask);
+        let pos: Vec<usize> = self.network.po_cone(cluster).to_vec();
+        let mask = self.network.po_cone_mask(cluster);
+        self.patch_committed_po(&pos, mask);
     }
 
     /// Recompute the committed packed values of the given POs, splice
@@ -1016,70 +1264,141 @@ impl Evaluator {
     /// refresh the derived committed-vs-golden mismatch masks.
     fn patch_committed_po(&mut self, pos: &[usize], mask: u64) {
         let keep = !mask;
-        for b in 0..self.blocks {
-            let mut m = [0u64; 64];
+        let blocks = self.blocks;
+        let Evaluator {
+            network,
+            stimulus,
+            values,
+            golden_words,
+            committed_po,
+            committed_diff,
+            committed_mism,
+            outside_mism,
+            ..
+        } = self;
+        // Group pass (same LANES width as the probe path): each cone
+        // PO's signal is dispatched once per group, its words land in
+        // `pw[o]`, and the per-word transpose splices follow.
+        let mut pw = [[0u64; LANES]; 64];
+        let mut g0 = 0usize;
+        while g0 < blocks {
+            let bw = (blocks - g0).min(LANES);
             for &o in pos {
-                let w = self.committed_word(self.network.po_sigs[o], b);
-                self.committed_diff[o][b] = w ^ self.golden_words[o][b];
-                m[o] = w;
+                match network.po_sigs[o] {
+                    Signal::Pi(i) => pw[o][..bw].copy_from_slice(&stimulus[i][g0..g0 + bw]),
+                    Signal::ClusterOut { idx, out } => {
+                        let off = (network.out_base_of(idx) + out) * blocks + g0;
+                        pw[o][..bw].copy_from_slice(&values[off..off + bw]);
+                    }
+                    Signal::Const(false) => pw[o][..bw].fill(0),
+                    Signal::Const(true) => pw[o][..bw].fill(!0u64),
+                }
+                for (w, &v) in pw[o][..bw].iter().enumerate() {
+                    let b = g0 + w;
+                    committed_diff[o * blocks + b] = v ^ golden_words[o * blocks + b];
+                }
             }
-            transpose64(&mut m);
-            for (lane, &v) in m.iter().enumerate() {
-                let s = b * 64 + lane;
-                self.committed_po[s] = (self.committed_po[s] & keep) | v;
+            // (`w` indexes the inner dimension of `pw`; iterating `pw`
+            // itself would invert the o/w nesting.)
+            #[allow(clippy::needless_range_loop)]
+            for w in 0..bw {
+                let b = g0 + w;
+                let mut m = [0u64; 64];
+                for &o in pos {
+                    m[o] = pw[o][w];
+                }
+                transpose64(&mut m);
+                for (lane, &v) in m.iter().enumerate() {
+                    let s = b * 64 + lane;
+                    committed_po[s] = (committed_po[s] & keep) | v;
+                }
             }
+            g0 += bw;
         }
         // Per-block mismatch rollups: over all POs (for the committed
         // QoR fast path) and over each cluster's *out-of-cone* POs
         // (the mismatches its probes inherit unchanged).
-        let num_pos = self.network.po_sigs.len();
-        for b in 0..self.blocks {
+        let num_pos = network.po_sigs.len();
+        for b in 0..blocks {
             let mut all = 0u64;
             for o in 0..num_pos {
-                all |= self.committed_diff[o][b];
+                all |= committed_diff[o * blocks + b];
             }
-            self.committed_mism[b] = all;
+            committed_mism[b] = all;
         }
-        for ci in 0..self.network.clusters.len() {
-            let cone_mask = self.network.po_cone[ci].mask;
-            for b in 0..self.blocks {
+        for ci in 0..network.len() {
+            let cone_mask = network.po_cone_mask(ci);
+            for b in 0..blocks {
                 let mut out = 0u64;
                 for o in 0..num_pos {
                     if cone_mask >> o & 1 == 0 {
-                        out |= self.committed_diff[o][b];
+                        out |= committed_diff[o * blocks + b];
                     }
                 }
-                self.outside_mism[ci][b] = out;
+                outside_mism[ci * blocks + b] = out;
             }
         }
     }
 
     fn recompute_all(&mut self) {
-        for ci in 0..self.network.clusters.len() {
+        for ci in 0..self.network.len() {
             self.recompute_cluster(ci);
         }
     }
 
     fn recompute_cluster(&mut self, ci: usize) {
-        let m = self.network.clusters[ci].num_outputs;
-        let mut out = std::mem::take(&mut self.scratch_out);
-        out.clear();
-        out.resize(m, 0);
-        for b in 0..self.blocks {
-            {
-                let c = &self.network.clusters[ci];
-                eval_block(
-                    &c.inputs,
-                    &c.rows,
-                    |sig| self.committed_word(sig, b),
-                    &mut out,
-                );
+        let blocks = self.blocks;
+        let samples = self.samples;
+        let Evaluator {
+            network,
+            stimulus,
+            values,
+            row_idx,
+            ..
+        } = self;
+        let ins = network.inputs_of(ci);
+        let k = ins.len();
+        let m = network.num_outputs_of(ci);
+        let base = network.out_base_of(ci);
+        let rows_ci = network.table(ci);
+        let mut in4 = [[0u64; LANES]; 64];
+        let mut g0 = 0usize;
+        while g0 < blocks {
+            let bw = (blocks - g0).min(LANES);
+            for (i, &sig) in ins.iter().enumerate() {
+                match sig {
+                    Signal::Pi(p) => in4[i][..bw].copy_from_slice(&stimulus[p][g0..g0 + bw]),
+                    Signal::ClusterOut { idx, out } => {
+                        let off = (network.out_base_of(idx) + out) * blocks + g0;
+                        in4[i][..bw].copy_from_slice(&values[off..off + bw]);
+                    }
+                    Signal::Const(false) => in4[i][..bw].fill(0),
+                    Signal::Const(true) => in4[i][..bw].fill(!0u64),
+                }
             }
-            for (o, &w) in out.iter().enumerate() {
-                self.values[ci][o][b] = w;
+            for w in 0..bw {
+                let b = g0 + w;
+                let mut mm = [0u64; 64];
+                for (i, iw) in in4[..k].iter().enumerate() {
+                    mm[i] = iw[w];
+                }
+                transpose64(&mut mm);
+                // `mm[lane]` is now lane's committed row index: stash
+                // it for the probe engine's root-cluster fast path
+                // before the lookup consumes it.
+                for (lane, &v) in mm.iter().enumerate() {
+                    row_idx[ci * samples + b * 64 + lane] = v as u16;
+                }
+                for v in mm.iter_mut() {
+                    *v = rows_ci[*v as usize] as u64;
+                }
+                transpose64(&mut mm);
+                for o in 0..m {
+                    values[(base + o) * blocks + b] = mm[o];
+                }
             }
+            g0 += bw;
         }
-        self.scratch_out = out;
     }
 }
 
@@ -1333,6 +1652,63 @@ mod tests {
         assert_eq!(ev.qor_current().samples, 1024);
         let zeros = vec![0u16; ev.network().table(0).len()];
         assert_eq!(ev.qor_with(0, &zeros).samples, 1024);
+    }
+
+    #[test]
+    fn ragged_tail_probes_match_reference() {
+        // Sample counts exercising every group shape: exactly one
+        // block, a partial group (3 blocks), one full group + tail,
+        // and a non-multiple-of-64 request rounded up to 16 blocks.
+        for &samples in &[64usize, 192, 320, 448, 1000] {
+            let nl = adder(6);
+            let part = decompose(&nl, &DecompConfig::default());
+            let mut ev = Evaluator::new(&nl, &part, &McConfig { samples, seed: 11 });
+            let mut st = ev.probe_state();
+            for cluster in 0..ev.network().len() {
+                let zeros = vec![0u16; ev.network().table(cluster).len()];
+                let packed = ev.qor_probe(&mut st, cluster, &zeros);
+                let scalar = ev.qor_probe_reference(&mut st, cluster, &zeros);
+                assert_eq!(packed, scalar, "samples {samples} cluster {cluster}");
+            }
+            // A commit perturbs the cached committed values; the tail
+            // groups must stay consistent afterwards.
+            let zeros = vec![0u16; ev.network().table(0).len()];
+            ev.commit(0, zeros);
+            assert_eq!(
+                ev.qor_current(),
+                ev.qor_current_reference(),
+                "samples {samples}"
+            );
+            for cluster in 1..ev.network().len() {
+                let zeros = vec![0u16; ev.network().table(cluster).len()];
+                let packed = ev.qor_probe(&mut st, cluster, &zeros);
+                let scalar = ev.qor_probe_reference(&mut st, cluster, &zeros);
+                assert_eq!(
+                    packed, scalar,
+                    "post-commit samples {samples} cluster {cluster}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn soa_offsets_are_consistent() {
+        let nl = adder(8);
+        let part = decompose(&nl, &DecompConfig::default());
+        let tn = TableNetwork::new(&nl, &part);
+        let mut total = 0;
+        for ci in 0..tn.len() {
+            assert_eq!(tn.out_base_of(ci), total, "output slots are prefix sums");
+            total += tn.num_outputs_of(ci);
+            assert!(tn.num_outputs_of(ci) <= 16, "rows pack into u16");
+            assert!(!tn.table(ci).is_empty());
+            assert_eq!(
+                tn.table(ci).len(),
+                1 << tn.inputs_of(ci).len(),
+                "2^k rows per cluster"
+            );
+        }
+        assert_eq!(tn.total_outputs(), total);
     }
 
     #[test]

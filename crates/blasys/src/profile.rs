@@ -147,7 +147,7 @@ pub(crate) fn profile_partition_ctx(
     ctx: &FlowContext<'_>,
 ) -> Result<Vec<SubcircuitProfile>, FlowError> {
     let total = partition.len();
-    let profiles: Vec<Option<SubcircuitProfile>> = workers.run(total, |ci| {
+    let window = |ci: usize, inner: Workers<'_>| -> Option<SubcircuitProfile> {
         if ctx.cancelled() || ctx.expired() {
             return None;
         }
@@ -155,10 +155,23 @@ pub(crate) fn profile_partition_ctx(
         let cluster = &partition.clusters()[ci];
         let tt = cluster_truth_table(nl, cluster);
         let reference = extract_cluster_netlist(nl, cluster, &format!("s{ci}_ref"));
-        let profile = profile_window_with_reference(ci, &tt, Some(reference), cfg);
+        let profile = profile_window_with_reference_on(ci, &tt, Some(reference), cfg, inner);
         ctx.window_profiled(&profile, total);
         Some(profile)
-    });
+    };
+    // Scheduling: with at least one window per worker, parallelize
+    // across windows (coarse grains, inner BMF serial). With fewer
+    // windows than workers, windows run serially and the parallelism
+    // moves *inside* each window's BMF candidate scans. Factorizations
+    // are bit-identical at any worker count, so both schedules produce
+    // the same profiles.
+    let profiles: Vec<Option<SubcircuitProfile>> = if total >= workers.worker_count() {
+        workers.run(total, |ci| {
+            window(ci, Workers::Transient(Parallelism::Serial))
+        })
+    } else {
+        (0..total).map(|ci| window(ci, workers)).collect()
+    };
     if profiles.iter().any(Option::is_none) {
         return Err(if ctx.cancelled() {
             FlowError::Cancelled
@@ -183,6 +196,26 @@ pub fn profile_window_with_reference(
     tt: &TruthTable,
     reference: Option<Netlist>,
     cfg: &ProfileConfig,
+) -> SubcircuitProfile {
+    profile_window_with_reference_on(
+        cluster,
+        tt,
+        reference,
+        cfg,
+        Workers::Transient(Parallelism::Serial),
+    )
+}
+
+/// [`profile_window_with_reference`] with an explicit execution
+/// context for the BMF candidate scans (see
+/// [`Factorizer::factorize_on`]). Profiles are bit-identical at any
+/// worker count.
+pub fn profile_window_with_reference_on(
+    cluster: usize,
+    tt: &TruthTable,
+    reference: Option<Netlist>,
+    cfg: &ProfileConfig,
+    workers: Workers<'_>,
 ) -> SubcircuitProfile {
     let k = tt.num_inputs();
     let m = tt.num_outputs();
@@ -262,7 +295,7 @@ pub fn profile_window_with_reference(
 
         let mut facs: Vec<blasys_bmf::Factorization> = candidates
             .iter()
-            .map(|fz| fz.factorize(&matrix, f))
+            .map(|fz| fz.factorize_on(&matrix, f, workers))
             .collect();
         if prev_fac.degree() == f + 1 && f + 1 >= 2 {
             facs.push(blasys_bmf::truncated(
@@ -318,6 +351,9 @@ pub fn profile_window_with_reference(
         area_um2: exact_area,
         local_hamming: 0,
     });
+    if let Some(c) = cfg.factorizer.counters() {
+        c.windows.inc();
+    }
     SubcircuitProfile {
         cluster,
         num_inputs: k,
@@ -432,6 +468,52 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn profiles_identical_across_worker_counts_and_schedules() {
+        // More workers than clusters pushes the parallelism inside the
+        // per-window BMF scans; either schedule must reproduce the
+        // serial profiles bit for bit.
+        let nl = adder(5);
+        let part = decompose(&nl, &DecompConfig::default());
+        let serial = profile_partition(&nl, &part, &ProfileConfig::default());
+        for threads in [2, part.len() + 3] {
+            let cfg = ProfileConfig {
+                parallelism: Parallelism::Threads(threads),
+                ..ProfileConfig::default()
+            };
+            let par = profile_partition(&nl, &part, &cfg);
+            assert_eq!(serial.len(), par.len());
+            for (s, p) in serial.iter().zip(&par) {
+                for (vs, vp) in s.variants.iter().zip(&p.variants) {
+                    assert_eq!(vs.table_rows, vp.table_rows, "cluster {}", s.cluster);
+                    assert_eq!(vs.area_um2, vp.area_um2, "cluster {}", s.cluster);
+                    assert_eq!(vs.local_hamming, vp.local_hamming);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_counters_accumulate_during_profiling() {
+        use blasys_bmf::FactorizeCounters;
+        use std::sync::Arc;
+        let nl = adder(4);
+        let part = decompose(&nl, &DecompConfig::default());
+        let registry = blasys_obs::Registry::default();
+        let counters = Arc::new(FactorizeCounters::register(&registry));
+        let cfg = ProfileConfig {
+            factorizer: Factorizer::new().with_counters(counters),
+            ..ProfileConfig::default()
+        };
+        let _ = profile_partition(&nl, &part, &cfg);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("bmf.windows_factorized"),
+            Some(part.len() as u64)
+        );
+        assert!(snap.counter("bmf.candidates_scored").unwrap() > 0);
     }
 
     #[test]

@@ -70,7 +70,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use blasys_bmf::{Algebra, Factorizer};
+use blasys_bmf::{Algebra, FactorizeCounters, Factorizer};
 use blasys_decomp::{decompose, DecompConfig, Partition};
 use blasys_logic::Netlist;
 use blasys_obs::Registry;
@@ -729,8 +729,17 @@ impl FlowSession<Decomposed> {
             OutputWeighting::Uniform => None,
             OutputWeighting::ValueInfluence => Some(influence_weights(&original, &partition)),
         };
+        // With a metrics registry attached, profiling cost lands in
+        // the `bmf.*` block next to the engine's `qor.*` counters.
+        let factorizer = match &cfg.metrics {
+            Some(r) => cfg
+                .factorizer
+                .clone()
+                .with_counters(Arc::new(FactorizeCounters::register(r))),
+            None => cfg.factorizer.clone(),
+        };
         let profile_cfg = ProfileConfig {
-            factorizer: cfg.factorizer.clone(),
+            factorizer,
             espresso: cfg.espresso,
             library: cfg.library.clone(),
             estimate: cfg.estimate,

@@ -19,8 +19,11 @@
 //! pass (exact per-row usage re-solve, coordinate-descent basis
 //! update).
 
+use blasys_par::{in_worker, Parallelism, Workers};
+
 use crate::matrix::BoolMatrix;
 use crate::metrics::weighted_error;
+use crate::obs::FactorizeCounters;
 
 /// Tuning parameters for [`asso`].
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +69,37 @@ fn wsum(mut bits: u64, weights: &[f64]) -> f64 {
     s
 }
 
+/// Precomputed [`wsum`] lookup for ≤ 16 columns (every truth-table
+/// matrix the flow factorizes).
+///
+/// `table[bits]` equals `wsum(bits, weights)` **bit for bit**: each
+/// entry extends the entry without its highest set bit by one more
+/// addend, which reproduces the scan loop's ascending-index left fold
+/// exactly — swapping the per-call scan for a lookup cannot change any
+/// score. Wider matrices fall back to the scan.
+pub(crate) struct WsumTable {
+    table: Vec<f64>,
+}
+
+impl WsumTable {
+    pub(crate) fn build(weights: &[f64]) -> Option<WsumTable> {
+        if weights.len() > 16 {
+            return None;
+        }
+        let mut table = vec![0.0f64; 1usize << weights.len()];
+        for bits in 1..table.len() {
+            let h = usize::BITS as usize - 1 - bits.leading_zeros() as usize;
+            table[bits] = table[bits ^ (1 << h)] + weights[h];
+        }
+        Some(WsumTable { table })
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, bits: u64) -> f64 {
+        self.table[bits as usize]
+    }
+}
+
 /// Run ASSO on `m` with factorization degree `f`.
 ///
 /// Returns `(B, C)` with `B` of shape `n × f` and `C` of shape `f × m`,
@@ -77,6 +111,35 @@ fn wsum(mut bits: u64, weights: &[f64]) -> f64 {
 ///
 /// Panics if `f == 0` or `m` has zero columns.
 pub fn asso(m: &BoolMatrix, f: usize, params: &AssoParams) -> (BoolMatrix, BoolMatrix) {
+    asso_on(m, f, params, Workers::Transient(Parallelism::Serial))
+}
+
+/// [`asso`] with an explicit execution context for the candidate
+/// scoring loop.
+///
+/// Candidate columns are scored independently per greedy round, so the
+/// scan parallelizes over contiguous candidate ranges. The reduction
+/// keeps the **first** strictly-best candidate in ascending candidate
+/// order — exactly the serial scan's winner — so the factorization is
+/// bit-identical at any worker count. Inside a worker of an enclosing
+/// parallel region the scan silently runs serial (nested scopes are
+/// illegal and pointless).
+pub fn asso_on(
+    m: &BoolMatrix,
+    f: usize,
+    params: &AssoParams,
+    workers: Workers<'_>,
+) -> (BoolMatrix, BoolMatrix) {
+    asso_counted(m, f, params, workers, None)
+}
+
+pub(crate) fn asso_counted(
+    m: &BoolMatrix,
+    f: usize,
+    params: &AssoParams,
+    workers: Workers<'_>,
+    counters: Option<&FactorizeCounters>,
+) -> (BoolMatrix, BoolMatrix) {
     assert!(f >= 1, "factorization degree must be at least 1");
     let cols = m.num_cols();
     assert!(cols >= 1, "matrix must have at least one column");
@@ -92,43 +155,100 @@ pub fn asso(m: &BoolMatrix, f: usize, params: &AssoParams) -> (BoolMatrix, BoolM
             &uniform
         }
     };
+    let workers = if in_worker() {
+        Workers::Transient(Parallelism::Serial)
+    } else {
+        workers
+    };
 
     let candidates = candidate_basis(m, params);
+    let wtab = WsumTable::build(weights);
+    // Scratch-free scoring: the old loop allocated a `usage` row vector
+    // per candidate and threw all but the winner's away. Scoring is now
+    // a pure fold and only the winner's usage is re-derived, once per
+    // round.
+    let score_of = |cand: u64, covered: &[u64]| -> f64 {
+        let mut score = 0.0;
+        match &wtab {
+            Some(t) => {
+                for (i, &cov) in covered.iter().enumerate() {
+                    let newly = cand & !cov;
+                    let row = m.row(i);
+                    let gain =
+                        params.bonus * t.get(newly & row) - params.penalty * t.get(newly & !row);
+                    if gain > 0.0 {
+                        score += gain;
+                    }
+                }
+            }
+            None => {
+                for (i, &cov) in covered.iter().enumerate() {
+                    let newly = cand & !cov;
+                    let row = m.row(i);
+                    let gain = params.bonus * wsum(newly & row, weights)
+                        - params.penalty * wsum(newly & !row, weights);
+                    if gain > 0.0 {
+                        score += gain;
+                    }
+                }
+            }
+        }
+        score
+    };
 
     let mut b = BoolMatrix::zeroed(n, f);
     let mut c = BoolMatrix::zeroed(f, cols);
     // Covered cells so far: OR over chosen (usage, basis) pairs.
     let mut covered = vec![0u64; n];
 
+    let tasks = if candidates.len() >= 16 {
+        workers.worker_count().min(candidates.len()).max(1)
+    } else {
+        1
+    };
+    let chunk = candidates.len().div_ceil(tasks.max(1)).max(1);
     for l in 0..f {
-        let mut best: Option<(f64, u64, Vec<bool>)> = None;
-        for &cand in &candidates {
-            if cand == 0 {
-                continue;
-            }
-            let mut score = 0.0;
-            let mut usage = vec![false; n];
-            for i in 0..n {
-                let newly = cand & !covered[i];
-                let good = newly & m.row(i);
-                let bad = newly & !m.row(i);
-                let gain = params.bonus * wsum(good, weights) - params.penalty * wsum(bad, weights);
-                if gain > 0.0 {
-                    usage[i] = true;
-                    score += gain;
+        if let Some(cnt) = counters {
+            cnt.candidates_scored.add(candidates.len() as u64);
+        }
+        // Chunk-local first-best under strict `>`, reduced over chunks
+        // in ascending order under strict `>`: equals the serial
+        // first-best for any chunking.
+        let locals: Vec<Option<(f64, u64)>> = workers.run(tasks, |t| {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(candidates.len());
+            let mut best: Option<(f64, u64)> = None;
+            for &cand in &candidates[lo..hi.max(lo)] {
+                if cand == 0 {
+                    continue;
+                }
+                let score = score_of(cand, &covered);
+                if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                    best = Some((score, cand));
                 }
             }
-            if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
-                best = Some((score, cand, usage));
+            best
+        });
+        let mut best: Option<(f64, u64)> = None;
+        for local in locals.into_iter().flatten() {
+            if best.as_ref().is_none_or(|(s, _)| local.0 > *s) {
+                best = Some(local);
             }
         }
         match best {
-            Some((score, cand, usage)) if score > 0.0 => {
+            Some((score, cand)) if score > 0.0 => {
                 c.set_row(l, cand);
-                for (i, used) in usage.iter().enumerate() {
-                    if *used {
+                // Re-derive the winner's usage against the same
+                // pre-round cover the scores saw.
+                for (i, cov) in covered.iter_mut().enumerate().take(n) {
+                    let newly = cand & !*cov;
+                    let good = newly & m.row(i);
+                    let bad = newly & !m.row(i);
+                    let gain =
+                        params.bonus * wsum(good, weights) - params.penalty * wsum(bad, weights);
+                    if gain > 0.0 {
                         b.set(i, l, true);
-                        covered[i] |= cand;
+                        *cov |= cand;
                     }
                 }
             }
@@ -289,6 +409,37 @@ pub fn asso_sweep(
     thresholds: &[f64],
     base: &AssoParams,
 ) -> (BoolMatrix, BoolMatrix) {
+    asso_sweep_on(
+        m,
+        f,
+        thresholds,
+        base,
+        Workers::Transient(Parallelism::Serial),
+    )
+}
+
+/// [`asso_sweep`] with an explicit execution context, passed down to
+/// each per-threshold [`asso_on`] run. The threshold loop itself stays
+/// serial (the per-round candidate scans inside it are the hot part),
+/// so the winning factorization is the serial one verbatim.
+pub fn asso_sweep_on(
+    m: &BoolMatrix,
+    f: usize,
+    thresholds: &[f64],
+    base: &AssoParams,
+    workers: Workers<'_>,
+) -> (BoolMatrix, BoolMatrix) {
+    asso_sweep_counted(m, f, thresholds, base, workers, None)
+}
+
+pub(crate) fn asso_sweep_counted(
+    m: &BoolMatrix,
+    f: usize,
+    thresholds: &[f64],
+    base: &AssoParams,
+    workers: Workers<'_>,
+    counters: Option<&FactorizeCounters>,
+) -> (BoolMatrix, BoolMatrix) {
     let uniform;
     let weights: &[f64] = match &base.weights {
         Some(w) => w,
@@ -303,7 +454,7 @@ pub fn asso_sweep(
             threshold: t,
             ..base.clone()
         };
-        let (b, c) = asso(m, f, &params);
+        let (b, c) = asso_counted(m, f, &params, workers, counters);
         let err = weighted_error(&b.or_product(&c), m, weights);
         if best.as_ref().is_none_or(|(e, _, _)| err < *e) {
             best = Some((err, b, c));
@@ -407,6 +558,47 @@ mod tests {
         assert_eq!(b.num_cols(), 3);
         assert_eq!(c.num_rows(), 3);
         assert_eq!(c.num_cols(), 4);
+    }
+
+    #[test]
+    fn parallel_scan_is_bit_identical() {
+        // Several matrix shapes, weighted and uniform, across worker
+        // counts: the factorization must match the serial scan exactly.
+        let shapes: Vec<BoolMatrix> = vec![
+            BoolMatrix::from_fn(24, 6, |i, j| (i * 7 + j * 3) % 4 == 0 || i == j),
+            BoolMatrix::from_fn(40, 8, |i, j| (i ^ j) & 3 != 1),
+            BoolMatrix::from_fn(64, 10, |i, j| (i * j) % 5 < 2),
+        ];
+        for m in &shapes {
+            for weighted in [false, true] {
+                let p = AssoParams {
+                    weights: weighted.then(|| value_weights(m.num_cols())),
+                    ..AssoParams::default()
+                };
+                for f in [1, 2, 3] {
+                    let serial = asso(m, f, &p);
+                    for threads in [2, 4, 7] {
+                        let par =
+                            asso_on(m, f, &p, Workers::Transient(Parallelism::Threads(threads)));
+                        assert_eq!(serial, par, "f={f} threads={threads} weighted={weighted}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wsum_table_matches_scan_exactly() {
+        let weights = value_weights(11);
+        let t = WsumTable::build(&weights).unwrap();
+        for bits in 0u64..1 << 11 {
+            assert_eq!(
+                t.get(bits).to_bits(),
+                wsum(bits, &weights).to_bits(),
+                "bits {bits:#b}"
+            );
+        }
+        assert!(WsumTable::build(&[1.0; 17]).is_none());
     }
 
     #[test]

@@ -6,10 +6,16 @@
 //! decompressors) and the QoR weighting, and handles the trivial
 //! `f ≥ min(n, m)` cases exactly.
 
-use crate::asso::{asso_sweep, AssoParams};
+use std::sync::Arc;
+use std::time::Instant;
+
+use blasys_par::{in_worker, Parallelism, Workers};
+
+use crate::asso::{asso_sweep_counted, AssoParams};
 use crate::grecon::grecond;
 use crate::matrix::BoolMatrix;
 use crate::metrics::{hamming, weighted_error};
+use crate::obs::FactorizeCounters;
 use crate::xor::{factorize_xor, XorParams};
 
 /// The algebra the decompressor network is built in.
@@ -129,6 +135,7 @@ pub struct Factorizer {
     algebra: Algebra,
     weights: Option<Vec<f64>>,
     refine_rounds: usize,
+    counters: Option<Arc<FactorizeCounters>>,
 }
 
 impl Factorizer {
@@ -171,6 +178,18 @@ impl Factorizer {
         self
     }
 
+    /// Attach a `bmf.*` counter block; every clone of this factorizer
+    /// accumulates into it.
+    pub fn with_counters(mut self, counters: Arc<FactorizeCounters>) -> Factorizer {
+        self.counters = Some(counters);
+        self
+    }
+
+    /// The attached counter block, if any.
+    pub fn counters(&self) -> Option<&Arc<FactorizeCounters>> {
+        self.counters.as_ref()
+    }
+
     /// The algebra this factorizer is configured for.
     pub fn algebra_kind(&self) -> Algebra {
         self.algebra
@@ -193,11 +212,37 @@ impl Factorizer {
     ///
     /// Panics if `f == 0`.
     pub fn factorize(&self, m: &BoolMatrix, f: usize) -> Factorization {
+        self.factorize_on(m, f, Workers::Transient(Parallelism::Serial))
+    }
+
+    /// [`factorize`](Factorizer::factorize) with an explicit execution
+    /// context: candidate scoring (heuristic path) and basis
+    /// enumeration (exhaustive tiny-instance path) run on `workers`.
+    ///
+    /// The result is **bit-identical at any worker count** — both
+    /// parallel reductions keep the first best under the serial scan
+    /// order — so callers may freely mix serial and pooled runs.
+    /// Records wall time and candidate counts on the attached
+    /// [`FactorizeCounters`], if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f == 0`.
+    pub fn factorize_on(&self, m: &BoolMatrix, f: usize, workers: Workers<'_>) -> Factorization {
+        let t0 = Instant::now();
+        let fac = self.factorize_inner(m, f, workers);
+        if let Some(c) = &self.counters {
+            c.factorize_ns.observe(t0.elapsed().as_nanos() as u64);
+        }
+        fac
+    }
+
+    fn factorize_inner(&self, m: &BoolMatrix, f: usize, workers: Workers<'_>) -> Factorization {
         assert!(f >= 1, "factorization degree must be at least 1");
         let cols = m.num_cols();
         if f < cols && cols <= 5 && m.num_rows() <= 64 && matches!(self.algebra, Algebra::SemiRing)
         {
-            return self.exact_small(m, f);
+            return self.exact_small(m, f, workers);
         }
         if f >= cols {
             // Identity factorization: B = M (padded), C = I (padded).
@@ -217,7 +262,14 @@ impl Factorizer {
                             refine_rounds: self.refine_rounds,
                             ..AssoParams::default()
                         };
-                        asso_sweep(m, f, thresholds, &base)
+                        asso_sweep_counted(
+                            m,
+                            f,
+                            thresholds,
+                            &base,
+                            workers,
+                            self.counters.as_deref(),
+                        )
                     }
                     Algorithm::GreConD => grecond(m, f),
                 };
@@ -315,7 +367,13 @@ impl Factorizer {
     /// Optimal OR-semi-ring factorization of a tiny matrix by
     /// exhaustive enumeration of the basis rows (all non-zero column
     /// patterns) with the exact per-row usage solve.
-    fn exact_small(&self, m: &BoolMatrix, f: usize) -> Factorization {
+    ///
+    /// Enumeration fans out over the first basis pattern's index, one
+    /// task per index; each task scans its lexicographic sub-range in
+    /// serial order and the reduction keeps the first strictly-lowest
+    /// error in ascending first-index order — exactly the serial scan's
+    /// winner, at any worker count.
+    fn exact_small(&self, m: &BoolMatrix, f: usize, workers: Workers<'_>) -> Factorization {
         let cols = m.num_cols();
         let n = m.num_rows();
         let uniform;
@@ -336,8 +394,11 @@ impl Factorizer {
             s
         };
         let patterns: Vec<u64> = (1u64..1 << cols).collect();
-        let mut basis = vec![0usize; f];
-        let mut best: Option<(f64, Vec<u64>, Vec<u64>)> = None;
+        let workers = if in_worker() {
+            Workers::Transient(Parallelism::Serial)
+        } else {
+            workers
+        };
         // Enumerate combinations of `f` basis patterns (with smaller
         // index first to avoid permutations).
         fn combos(
@@ -356,34 +417,57 @@ impl Factorizer {
                 combos(patterns, basis, depth + 1, i + 1, eval);
             }
         }
-        let mut eval = |chosen: &[usize]| {
-            // Optimal usage per row via subset-OR DP.
-            let mut or_of = vec![0u64; 1usize << f];
-            for s in 1usize..1 << f {
-                let low = s.trailing_zeros() as usize;
-                or_of[s] = or_of[s & (s - 1)] | patterns[chosen[low]];
-            }
-            let mut err = 0.0;
-            let mut usage = Vec::with_capacity(n);
-            for i in 0..n {
-                let target = m.row(i);
-                let (mut best_s, mut best_e) = (0usize, f64::INFINITY);
-                for (s, &or_val) in or_of.iter().enumerate() {
-                    let e = wsum(or_val ^ target);
-                    if e < best_e {
-                        best_e = e;
-                        best_s = s;
-                    }
+        type Best = Option<(f64, Vec<u64>, Vec<u64>)>;
+        let firsts = patterns.len() - (f - 1);
+        let locals: Vec<(u64, Best)> = workers.run(firsts, |i0| {
+            let mut best: Best = None;
+            let mut scored = 0u64;
+            let mut eval = |chosen: &[usize]| {
+                scored += 1;
+                // Optimal usage per row via subset-OR DP.
+                let mut or_of = vec![0u64; 1usize << f];
+                for s in 1usize..1 << f {
+                    let low = s.trailing_zeros() as usize;
+                    or_of[s] = or_of[s & (s - 1)] | patterns[chosen[low]];
                 }
-                err += best_e;
-                usage.push(best_s as u64);
+                let mut err = 0.0;
+                let mut usage = Vec::with_capacity(n);
+                for i in 0..n {
+                    let target = m.row(i);
+                    let (mut best_s, mut best_e) = (0usize, f64::INFINITY);
+                    for (s, &or_val) in or_of.iter().enumerate() {
+                        let e = wsum(or_val ^ target);
+                        if e < best_e {
+                            best_e = e;
+                            best_s = s;
+                        }
+                    }
+                    err += best_e;
+                    usage.push(best_s as u64);
+                }
+                if best.as_ref().is_none_or(|(e, _, _)| err < *e) {
+                    let c_rows: Vec<u64> = chosen.iter().map(|&i| patterns[i]).collect();
+                    best = Some((err, usage, c_rows));
+                }
+            };
+            let mut basis = vec![0usize; f];
+            basis[0] = i0;
+            combos(&patterns, &mut basis, 1, i0 + 1, &mut eval);
+            (scored, best)
+        });
+        let mut best: Best = None;
+        let mut scored = 0u64;
+        for (s, local) in locals {
+            scored += s;
+            if let Some(local) = local {
+                if best.as_ref().is_none_or(|(e, _, _)| local.0 < *e) {
+                    best = Some(local);
+                }
             }
-            if best.as_ref().is_none_or(|(e, _, _)| err < *e) {
-                let c_rows: Vec<u64> = chosen.iter().map(|&i| patterns[i]).collect();
-                best = Some((err, usage, c_rows));
-            }
-        };
-        combos(&patterns, &mut basis, 0, 0, &mut eval);
+        }
+        if let Some(c) = &self.counters {
+            c.candidates_scored.add(scored);
+        }
         let (_, usage, c_rows) = best.expect("at least one basis combination");
         let mut b = BoolMatrix::zeroed(n, f);
         for (i, &u) in usage.iter().enumerate() {
@@ -491,6 +575,51 @@ mod tests {
         let m = BoolMatrix::from_rows(4, &[0b0011, 0b1100, 0b1111, 0b0000]);
         let fac = Factorizer::new().factorize(&m, 2);
         assert_eq!(fac.error(&m), 0.0);
+    }
+
+    #[test]
+    fn factorize_on_is_bit_identical_across_worker_counts() {
+        use blasys_par::{Parallelism, Workers};
+        // Heuristic path (6 cols) and exhaustive tiny path (4 cols).
+        let wide = BoolMatrix::from_fn(40, 6, |i, j| (i * 5 + j * j) % 3 == 0);
+        let tiny = BoolMatrix::from_fn(16, 4, |i, j| (i >> j) & 1 == 1 || i % 5 == j);
+        for m in [&wide, &tiny] {
+            for f in 1..m.num_cols() {
+                let serial = Factorizer::new().factorize(m, f);
+                for threads in [2, 4, 8] {
+                    let par = Factorizer::new().factorize_on(
+                        m,
+                        f,
+                        Workers::Transient(Parallelism::Threads(threads)),
+                    );
+                    assert_eq!(serial, par, "cols={} f={f} threads={threads}", m.num_cols());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counters_record_factorization_work() {
+        use crate::obs::FactorizeCounters;
+        use std::sync::Arc;
+        let registry = blasys_obs::Registry::default();
+        let counters = Arc::new(FactorizeCounters::register(&registry));
+        let m = BoolMatrix::from_fn(16, 4, |i, j| (i >> j) & 1 == 1);
+        let fz = Factorizer::new().with_counters(counters.clone());
+        let _ = fz.factorize(&m, 2);
+        let snap = registry.snapshot();
+        assert!(snap.counter("bmf.candidates_scored").unwrap() > 0);
+        assert_eq!(counters.factorize_ns.count(), 1);
+        // Counter totals are deterministic across worker counts.
+        let registry2 = blasys_obs::Registry::default();
+        let counters2 = Arc::new(FactorizeCounters::register(&registry2));
+        let fz2 = Factorizer::new().with_counters(counters2);
+        use blasys_par::{Parallelism, Workers};
+        let _ = fz2.factorize_on(&m, 2, Workers::Transient(Parallelism::Threads(4)));
+        assert_eq!(
+            snap.counter("bmf.candidates_scored"),
+            registry2.snapshot().counter("bmf.candidates_scored")
+        );
     }
 
     #[test]

@@ -33,8 +33,10 @@ pub mod factorize;
 pub mod grecon;
 pub mod matrix;
 pub mod metrics;
+pub mod obs;
 pub mod xor;
 
 pub use factorize::{truncated, Algebra, Algorithm, Factorization, Factorizer};
 pub use matrix::BoolMatrix;
 pub use metrics::{hamming, weighted_error};
+pub use obs::FactorizeCounters;
