@@ -100,5 +100,31 @@ fn bench_profile_stage(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_flow, bench_profile_stage);
+/// Explorer-engine cost on the same `mult4` flow: greedy reference vs
+/// a width-4 beam (~width× candidate sweeps per step) vs a 256-step
+/// annealing schedule. The greedy row doubles as the denominator for
+/// the beam-width cost table in docs/USAGE.md.
+fn bench_explorers(c: &mut Criterion) {
+    use blasys_core::Explorer;
+
+    let nl = multiplier(4);
+    let mut g = c.benchmark_group("explore");
+    g.sample_size(10);
+    g.bench_function("mult4_greedy", |b| {
+        b.iter(|| small_flow().explorer(Explorer::Greedy).run(&nl))
+    });
+    g.bench_function("mult4_beam4", |b| {
+        b.iter(|| small_flow().explorer(Explorer::Beam { width: 4 }).run(&nl))
+    });
+    g.bench_function("mult4_anneal", |b| {
+        b.iter(|| {
+            small_flow()
+                .explorer(Explorer::Anneal(Default::default()))
+                .run(&nl)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_flow, bench_profile_stage, bench_explorers);
 criterion_main!(benches);

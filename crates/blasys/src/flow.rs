@@ -152,6 +152,14 @@ impl Blasys {
         self
     }
 
+    /// Select the exploration engine (greedy by default; see
+    /// [`Explorer`](crate::explore::Explorer) for beam search,
+    /// simulated annealing, and the 3-D Pareto mode).
+    pub fn explorer(mut self, explorer: crate::explore::Explorer) -> Blasys {
+        self.spec.explorer = explorer;
+        self
+    }
+
     /// Set the decomposition limits `k × m`.
     pub fn limits(mut self, k: usize, m: usize) -> Blasys {
         self.config = self.config.limits(k, m);

@@ -121,7 +121,7 @@ pub mod session;
 
 pub use blasys_par::Parallelism;
 pub use certify::{prove_exact, CertifiedPoint};
-pub use explore::{ExploreConfig, StopCriterion, TrajectoryPoint};
+pub use explore::{AnnealSchedule, ExploreConfig, Explorer, StopCriterion, TrajectoryPoint};
 pub use flow::{Blasys, BlasysResult, FlowError};
 pub use montecarlo::{Evaluator, McConfig, ProbeState, Signal, TableNetwork};
 pub use obs::{Observers, QorCounters, TraceObserver};

@@ -347,6 +347,38 @@ impl TableNetwork {
         self.po_sigs.len()
     }
 
+    /// Longest-path depth of the cluster DAG under per-cluster delays
+    /// (`delays[cluster]`, ns). Primary inputs and constants arrive at
+    /// time zero; a cluster's outputs arrive at the latest input
+    /// arrival plus its own delay; the result is the latest primary-
+    /// output arrival. Cluster indices ascend topologically, so one
+    /// forward pass suffices — the walk order is fixed, which keeps
+    /// the accumulated float bit-identical at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delays.len()` differs from the cluster count.
+    pub fn model_depth_ns(&self, delays: &[f64]) -> f64 {
+        assert_eq!(delays.len(), self.n, "one delay per cluster");
+        let mut arrive = vec![0.0f64; self.n];
+        for ci in 0..self.n {
+            let mut latest = 0.0f64;
+            for sig in self.inputs_of(ci) {
+                if let Signal::ClusterOut { idx, .. } = sig {
+                    latest = latest.max(arrive[*idx]);
+                }
+            }
+            arrive[ci] = latest + delays[ci];
+        }
+        let mut depth = 0.0f64;
+        for sig in &self.po_sigs {
+            if let Signal::ClusterOut { idx, .. } = sig {
+                depth = depth.max(arrive[*idx]);
+            }
+        }
+        depth
+    }
+
     /// Input signals of one cluster.
     fn inputs_of(&self, cluster: usize) -> &[Signal] {
         &self.inputs[self.input_off[cluster]..self.input_off[cluster + 1]]
@@ -451,20 +483,25 @@ pub struct ProbeState {
 /// A reusable QoR evaluator: fixed stimulus, golden outputs from the
 /// exact netlist, `&self` probes and `&mut self` commits.
 ///
-/// `Clone` duplicates the full committed state (tables, caches,
-/// stimulus, golden outputs) without re-simulating anything — a
+/// `Clone` duplicates the full committed state (tables, caches)
+/// without re-simulating anything, while the immutable sampled model
+/// (stimulus, golden outputs) stays `Arc`-shared across clones — a
 /// [`FlowSession`](crate::session::FlowSession) keeps one pristine
-/// exact-tables evaluator and clones it per exploration.
+/// exact-tables evaluator and clones it per exploration, and beam
+/// search clones one branch evaluator per committed frontier.
 #[derive(Debug, Clone)]
 pub struct Evaluator {
     network: TableNetwork,
-    /// `stimulus[pi][block]`.
-    stimulus: Vec<Vec<u64>>,
-    /// Golden output value per sample.
-    golden: Vec<u64>,
+    /// `stimulus[pi][block]`. The stimulus/golden model is immutable
+    /// after construction and `Arc`-shared, so cloning an evaluator —
+    /// per exploration, or per beam-search branch — duplicates only
+    /// the committed-value state, never the sampled model.
+    stimulus: Arc<Vec<Vec<u64>>>,
+    /// Golden output value per sample (shared, see `stimulus`).
+    golden: Arc<Vec<u64>>,
     /// Golden outputs in per-output word form, flat:
-    /// `golden_words[po * blocks + block]`.
-    golden_words: Vec<u64>,
+    /// `golden_words[po * blocks + block]` (shared, see `stimulus`).
+    golden_words: Arc<Vec<u64>>,
     /// Cached cluster-output words of the *committed* network, flat
     /// over global output slots:
     /// `values[(out_base_of(ci) + o) * blocks + block]` — each
@@ -610,9 +647,9 @@ impl Evaluator {
         let mut ev = Evaluator {
             values: vec![0u64; network.total_outputs() * blocks],
             network,
-            stimulus,
-            golden,
-            golden_words,
+            stimulus: Arc::new(stimulus),
+            golden: Arc::new(golden),
+            golden_words: Arc::new(golden_words),
             committed_po: vec![0u64; samples],
             committed_diff: vec![0u64; num_pos * blocks],
             committed_mism: vec![0u64; blocks],

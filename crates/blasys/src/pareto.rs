@@ -1,10 +1,14 @@
 //! Pareto-front extraction and normalization helpers for trade-off
-//! curves (the paper's Figure 5 presentation).
+//! curves (the paper's Figure 5 presentation), plus the n-dimensional
+//! dominance front behind [`Explorer::Pareto3`].
+//!
+//! [`Explorer::Pareto3`]: crate::explore::Explorer::Pareto3
 
 use crate::explore::TrajectoryPoint;
 use crate::qor::QorMetric;
 
-/// A (error, area) point of a trade-off curve.
+/// A point of a trade-off curve or surface: the driving error metric
+/// plus the modeled design axes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TradeoffPoint {
     /// Error value of the driving metric.
@@ -13,6 +17,9 @@ pub struct TradeoffPoint {
     pub area_um2: f64,
     /// Area normalized to the exact design.
     pub norm_area: f64,
+    /// Modeled critical-path depth, ns (cluster-DAG longest path over
+    /// the active variants' estimated delays).
+    pub depth_ns: f64,
     /// Trajectory step the point came from.
     pub step: usize,
 }
@@ -53,6 +60,7 @@ pub fn tradeoff_curve(trajectory: &[TrajectoryPoint], metric: QorMetric) -> Vec<
             error: p.qor.value(metric),
             area_um2: p.model_area_um2,
             norm_area: p.model_area_um2 / base,
+            depth_ns: p.model_depth_ns,
             step: p.step,
         })
         .collect()
@@ -79,6 +87,71 @@ pub fn pareto_front(points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
     front
 }
 
+/// An axis accessor for [`pareto_front_nd`].
+pub type Axis = fn(&TradeoffPoint) -> f64;
+
+/// The (error, area, depth) axes of [`pareto_front3`].
+pub const AXES3: [Axis; 3] = [
+    |p: &TradeoffPoint| p.error,
+    |p: &TradeoffPoint| p.area_um2,
+    |p: &TradeoffPoint| p.depth_ns,
+];
+
+/// Keep only points not **strictly dominated** on the given axes.
+///
+/// `a` strictly dominates `b` when `a` is ≤ `b` on *every* axis and
+/// `<` on at least one. The result therefore satisfies, for any input
+/// set:
+///
+/// * no returned point is dominated by **any** input point;
+/// * every dropped point is dominated by **some** returned point
+///   (dominance is transitive, so a maximal dominator of a dropped
+///   point is itself kept);
+/// * points tied on every axis are mutually non-dominating and all
+///   kept — so the output is independent of the input order.
+///
+/// The output is sorted lexicographically by the axes (then by
+/// [`TradeoffPoint::step`]), which together with the tie rule makes it
+/// **stable under input permutation** — a property the explorer test
+/// battery pins.
+///
+/// Quadratic in the input size, which is fine for exploration-scale
+/// archives (one point per candidate probe).
+pub fn pareto_front_nd(points: &[TradeoffPoint], axes: &[Axis]) -> Vec<TradeoffPoint> {
+    assert!(!axes.is_empty(), "need at least one axis");
+    let dominates = |a: &TradeoffPoint, b: &TradeoffPoint| {
+        let mut strict = false;
+        for axis in axes {
+            let (va, vb) = (axis(a), axis(b));
+            if va > vb {
+                return false;
+            }
+            if va < vb {
+                strict = true;
+            }
+        }
+        strict
+    };
+    let mut front: Vec<TradeoffPoint> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| dominates(q, p)))
+        .copied()
+        .collect();
+    front.sort_by(|a, b| {
+        axes.iter()
+            .map(|axis| axis(a).total_cmp(&axis(b)))
+            .fold(std::cmp::Ordering::Equal, std::cmp::Ordering::then)
+            .then(a.step.cmp(&b.step))
+    });
+    front
+}
+
+/// The 3-D (error, area, depth) dominance front: [`pareto_front_nd`]
+/// over [`AXES3`].
+pub fn pareto_front3(points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
+    pareto_front_nd(points, &AXES3)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +167,17 @@ mod tests {
                 ..QorReport::default()
             },
             model_area_um2: area,
+            model_depth_ns: 0.0,
+        }
+    }
+
+    fn tp(step: usize, error: f64, area: f64, depth: f64) -> TradeoffPoint {
+        TradeoffPoint {
+            error,
+            area_um2: area,
+            norm_area: 1.0,
+            depth_ns: depth,
+            step,
         }
     }
 
@@ -108,30 +192,10 @@ mod tests {
     #[test]
     fn pareto_front_removes_dominated() {
         let pts = vec![
-            TradeoffPoint {
-                error: 0.0,
-                area_um2: 100.0,
-                norm_area: 1.0,
-                step: 0,
-            },
-            TradeoffPoint {
-                error: 0.1,
-                area_um2: 90.0,
-                norm_area: 0.9,
-                step: 1,
-            },
-            TradeoffPoint {
-                error: 0.2,
-                area_um2: 95.0,
-                norm_area: 0.95,
-                step: 2,
-            }, // dominated
-            TradeoffPoint {
-                error: 0.3,
-                area_um2: 50.0,
-                norm_area: 0.5,
-                step: 3,
-            },
+            tp(0, 0.0, 100.0, 0.0),
+            tp(1, 0.1, 90.0, 0.0),
+            tp(2, 0.2, 95.0, 0.0), // dominated
+            tp(3, 0.3, 50.0, 0.0),
         ];
         let front = pareto_front(&pts);
         assert_eq!(front.len(), 3);
@@ -142,12 +206,51 @@ mod tests {
 
     #[test]
     fn single_point_is_its_own_front() {
-        let pts = vec![TradeoffPoint {
-            error: 0.0,
-            area_um2: 10.0,
-            norm_area: 1.0,
-            step: 0,
-        }];
+        let pts = vec![tp(0, 0.0, 10.0, 0.0)];
         assert_eq!(pareto_front(&pts).len(), 1);
+    }
+
+    #[test]
+    fn nd_front_keeps_depth_tradeoffs_2d_would_drop() {
+        // Same (error, area) skyline as the 2-D test, but point 2 now
+        // buys its worse area with a much shallower circuit — in 3-D
+        // nothing dominates it.
+        let pts = vec![
+            tp(0, 0.0, 100.0, 5.0),
+            tp(1, 0.1, 90.0, 5.0),
+            tp(2, 0.2, 95.0, 1.0),
+            tp(3, 0.3, 50.0, 5.0),
+        ];
+        let front3 = pareto_front3(&pts);
+        assert_eq!(front3.len(), 4);
+        // Collapse the depth axis and the 2-D answer comes back.
+        let front2 = pareto_front_nd(
+            &pts,
+            &[|p: &TradeoffPoint| p.error, |p: &TradeoffPoint| p.area_um2],
+        );
+        assert_eq!(front2.len(), 3);
+        assert!(front2.iter().all(|p| p.step != 2));
+    }
+
+    #[test]
+    fn nd_front_is_permutation_stable() {
+        let pts = vec![
+            tp(0, 0.0, 100.0, 5.0),
+            tp(1, 0.1, 90.0, 4.0),
+            tp(2, 0.1, 90.0, 6.0), // dominated by 1
+            tp(3, 0.2, 80.0, 4.5),
+        ];
+        let a = pareto_front3(&pts);
+        let mut rev = pts.clone();
+        rev.reverse();
+        let b = pareto_front3(&rev);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nd_front_keeps_exact_ties() {
+        // Identical points never dominate each other: both survive.
+        let pts = vec![tp(0, 0.1, 50.0, 2.0), tp(1, 0.1, 50.0, 2.0)];
+        assert_eq!(pareto_front3(&pts).len(), 2);
     }
 }

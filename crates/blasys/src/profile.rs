@@ -30,6 +30,10 @@ pub struct Variant {
     pub netlist: Netlist,
     /// Estimated area of the variant, µm².
     pub area_um2: f64,
+    /// Estimated critical-path delay of the variant, ns (the same
+    /// [`estimate`] call that prices the area; exploration's depth
+    /// axis sums these along the cluster DAG's longest path).
+    pub delay_ns: f64,
     /// Local truth-table Hamming distance to the exact window.
     pub local_hamming: usize,
 }
@@ -242,7 +246,8 @@ pub fn profile_window_with_reference_on(
         }
         _ => resynth,
     };
-    let exact_area = estimate(&exact_netlist, &cfg.library, &cfg.estimate).area_um2;
+    let exact_metrics = estimate(&exact_netlist, &cfg.library, &cfg.estimate);
+    let exact_area = exact_metrics.area_um2;
 
     // Candidate factorizers for approximate degrees.
     let mut candidates: Vec<Factorizer> = vec![factorizer.clone()];
@@ -279,14 +284,15 @@ pub fn profile_window_with_reference_on(
         if chain_fac.c().iter_rows().all(|r| r.count_ones() <= 1) {
             let kept: u64 = (0..f).fold(0u64, |acc, l| acc | chain_fac.c().row(l));
             let netlist = with_nulled_outputs(&exact_netlist, kept);
-            let area = estimate(&netlist, &cfg.library, &cfg.estimate).area_um2;
+            let met = estimate(&netlist, &cfg.library, &cfg.estimate);
             let local_hamming = metrics::hamming(&chain_fac.product(), &matrix);
             built.push((
                 Variant {
                     degree: f,
                     table_rows: crate::approx::factorization_rows(&chain_fac),
                     netlist,
-                    area_um2: area,
+                    area_um2: met.area_um2,
+                    delay_ns: met.delay_ns,
                     local_hamming,
                 },
                 chain_fac.clone(),
@@ -312,14 +318,15 @@ pub fn profile_window_with_reference_on(
                 &format!("s{cluster}_f{f}"),
                 &cfg.espresso,
             );
-            let area = estimate(&netlist, &cfg.library, &cfg.estimate).area_um2;
+            let met = estimate(&netlist, &cfg.library, &cfg.estimate);
             let local_hamming = metrics::hamming(&fac.product(), &matrix);
             (
                 Variant {
                     degree: f,
                     table_rows: rows,
                     netlist,
-                    area_um2: area,
+                    area_um2: met.area_um2,
+                    delay_ns: met.delay_ns,
                     local_hamming,
                 },
                 fac,
@@ -349,6 +356,7 @@ pub fn profile_window_with_reference_on(
         table_rows: (0..tt.rows()).map(|r| tt.row_value(r) as u16).collect(),
         netlist: exact_netlist,
         area_um2: exact_area,
+        delay_ns: exact_metrics.delay_ns,
         local_hamming: 0,
     });
     if let Some(c) = cfg.factorizer.counters() {

@@ -12,6 +12,7 @@ use std::fmt;
 use blasys_synth::estimate::estimate;
 use blasys_synth::DesignMetrics;
 
+use crate::explore::{AnnealSchedule, Explorer};
 use crate::flow::BlasysResult;
 use crate::qor::{QorMetric, QorReport};
 
@@ -260,6 +261,10 @@ pub struct FlowReport {
     /// [`FlowReport::with_metrics`] and emitted under the `"metrics"`
     /// key.
     pub metrics: Option<Json>,
+    /// The search engine that produced the trajectory, attached via
+    /// [`FlowReport::with_explorer`] and emitted under the
+    /// `"explorer"` / `"beam_width"` keys.
+    pub explorer: Option<Explorer>,
 }
 
 impl FlowReport {
@@ -299,6 +304,7 @@ impl FlowReport {
             chosen,
             original_gates: result.original().gate_count(),
             metrics: None,
+            explorer: None,
         }
     }
 
@@ -306,6 +312,14 @@ impl FlowReport {
     /// [`snapshot_json`]; appears as the final `"metrics"` key).
     pub fn with_metrics(mut self, snapshot: &blasys_obs::Snapshot) -> FlowReport {
         self.metrics = Some(snapshot_json(snapshot));
+        self
+    }
+
+    /// Record which search engine produced the trajectory; emitted as
+    /// `"explorer"` (the [`explorer_name`]) plus `"beam_width"` for
+    /// beam runs.
+    pub fn with_explorer(mut self, explorer: Explorer) -> FlowReport {
+        self.explorer = Some(explorer);
         self
     }
 
@@ -339,8 +353,14 @@ impl FlowReport {
             ),
             ("original_gates", Json::UInt(self.original_gates as u64)),
         ]);
-        if let Some(metrics) = &self.metrics {
-            if let Json::Obj(fields) = &mut json {
+        if let Json::Obj(fields) = &mut json {
+            if let Some(explorer) = self.explorer {
+                fields.push(("explorer".to_string(), Json::str(explorer_name(&explorer))));
+                if let Explorer::Beam { width } = explorer {
+                    fields.push(("beam_width".to_string(), Json::UInt(width as u64)));
+                }
+            }
+            if let Some(metrics) = &self.metrics {
                 fields.push(("metrics".to_string(), metrics.clone()));
             }
         }
@@ -366,6 +386,36 @@ pub fn parse_metric(name: &str) -> Option<QorMetric> {
         "avg-absolute" | "avg_absolute" | "abs" => Some(QorMetric::AvgAbsolute),
         "bit-error-rate" | "bit_error_rate" | "ber" => Some(QorMetric::BitErrorRate),
         _ => None,
+    }
+}
+
+/// The explorer name used in reports and accepted by the CLI:
+/// `greedy`, `beam:<k>`, `anneal`, or `pareto3`.
+pub fn explorer_name(explorer: &Explorer) -> String {
+    match explorer {
+        Explorer::Greedy => "greedy".to_string(),
+        Explorer::Beam { width } => format!("beam:{width}"),
+        Explorer::Anneal(_) => "anneal".to_string(),
+        Explorer::Pareto3 => "pareto3".to_string(),
+    }
+}
+
+/// Parse an explorer name as printed by [`explorer_name`]. Matching is
+/// case-insensitive and whitespace-tolerant; `beam` alone means
+/// `beam:4`, and `beam:0` (a meaningless width) is rejected. An
+/// `anneal` explorer comes back with the default
+/// [`AnnealSchedule`] (the session fills in the seed).
+pub fn parse_explorer(name: &str) -> Option<Explorer> {
+    let name = name.trim().to_ascii_lowercase();
+    match name.as_str() {
+        "greedy" => Some(Explorer::Greedy),
+        "beam" => Some(Explorer::Beam { width: 4 }),
+        "anneal" => Some(Explorer::Anneal(AnnealSchedule::default())),
+        "pareto3" => Some(Explorer::Pareto3),
+        _ => {
+            let width: usize = name.strip_prefix("beam:")?.trim().parse().ok()?;
+            (width >= 1).then_some(Explorer::Beam { width })
+        }
     }
 }
 
@@ -470,6 +520,52 @@ mod tests {
             !json.contains("\"samples\": 1000"),
             "requested count must not leak"
         );
+    }
+
+    #[test]
+    fn explorer_names_round_trip() {
+        for e in [
+            Explorer::Greedy,
+            Explorer::Beam { width: 1 },
+            Explorer::Beam { width: 7 },
+            Explorer::Pareto3,
+        ] {
+            assert_eq!(parse_explorer(&explorer_name(&e)), Some(e), "{e:?}");
+        }
+        // `anneal` round-trips to the default schedule by design.
+        assert_eq!(
+            parse_explorer("anneal"),
+            Some(Explorer::Anneal(AnnealSchedule::default()))
+        );
+        assert_eq!(parse_explorer("beam"), Some(Explorer::Beam { width: 4 }));
+        assert_eq!(
+            parse_explorer(" BEAM:2 "),
+            Some(Explorer::Beam { width: 2 })
+        );
+        assert_eq!(parse_explorer("beam:0"), None);
+        assert_eq!(parse_explorer("beam:-1"), None);
+        assert_eq!(parse_explorer("beam:"), None);
+        assert_eq!(parse_explorer("hillclimb"), None);
+        assert_eq!(parse_explorer(""), None);
+    }
+
+    #[test]
+    fn flow_report_records_the_explorer() {
+        use crate::flow::Blasys;
+        use blasys_circuits::multiplier;
+
+        let result = Blasys::new().samples(512).seed(3).run(&multiplier(2));
+        let report = FlowReport::from_result(&result, 0).with_explorer(Explorer::Beam { width: 4 });
+        let s = report.to_json().to_string();
+        assert!(s.contains("\"explorer\": \"beam:4\""), "{s}");
+        assert!(s.contains("\"beam_width\": 4"), "{s}");
+        // Non-beam engines omit the width key.
+        let s = FlowReport::from_result(&result, 0)
+            .with_explorer(Explorer::Greedy)
+            .to_json()
+            .to_string();
+        assert!(s.contains("\"explorer\": \"greedy\""), "{s}");
+        assert!(!s.contains("beam_width"), "{s}");
     }
 
     #[test]

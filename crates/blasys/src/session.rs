@@ -78,10 +78,11 @@ use blasys_par::{Parallelism, Pool, PoolMetrics, Workers};
 use blasys_synth::estimate::EstimateConfig;
 use blasys_synth::{CellLibrary, EspressoConfig};
 
-use crate::explore::{explore_ctx, ExploreConfig, StopCriterion, TrajectoryPoint};
+use crate::explore::{explore_ctx, ExploreConfig, Explorer, StopCriterion, TrajectoryPoint};
 use crate::flow::{influence_weights, BlasysResult, FlowError, OutputWeighting};
 use crate::montecarlo::{Evaluator, McConfig};
 use crate::obs::QorCounters;
+use crate::pareto::TradeoffPoint;
 use crate::profile::{profile_partition_ctx, ProfileConfig, SubcircuitProfile};
 use crate::qor::QorMetric;
 
@@ -244,6 +245,10 @@ pub enum StopReason {
     ProbeBudget,
     /// The [`Budget::max_wall`] cap was reached.
     WallBudget,
+    /// An annealing run finished its full
+    /// [`AnnealSchedule`](crate::explore::AnnealSchedule) without
+    /// being interrupted (only [`Explorer::Anneal`] ends this way).
+    ScheduleComplete,
 }
 
 /// Per-exploration settings: everything that may vary between queries
@@ -261,6 +266,10 @@ pub struct ExploreSpec {
     pub budget: Budget,
     /// Cooperative cancellation for this exploration.
     pub cancel: Option<CancelToken>,
+    /// The search engine to run (greedy, beam, annealing, or pareto3;
+    /// see [`Explorer`]). An [`Explorer::Anneal`] schedule without an
+    /// explicit seed derives it from the session's Monte-Carlo seed.
+    pub explorer: Explorer,
 }
 
 impl Default for ExploreSpec {
@@ -271,6 +280,7 @@ impl Default for ExploreSpec {
             prune: true,
             budget: Budget::default(),
             cancel: None,
+            explorer: Explorer::Greedy,
         }
     }
 }
@@ -323,6 +333,12 @@ impl ExploreSpec {
         self.cancel = Some(token);
         self
     }
+
+    /// Select the search engine (greedy stays the default).
+    pub fn explorer(mut self, explorer: Explorer) -> ExploreSpec {
+        self.explorer = explorer;
+        self
+    }
 }
 
 /// One completed (possibly budget- or cancel-truncated) exploration:
@@ -332,6 +348,9 @@ pub struct Exploration {
     pub(crate) trajectory: Vec<TrajectoryPoint>,
     pub(crate) stop: StopReason,
     pub(crate) probes: u64,
+    /// 3-D Pareto surface over every feasible candidate probed, only
+    /// populated by [`Explorer::Pareto3`].
+    pub(crate) pareto: Option<Vec<TradeoffPoint>>,
 }
 
 impl Exploration {
@@ -351,6 +370,14 @@ impl Exploration {
         self.probes
     }
 
+    /// The (error, area, depth) Pareto surface distilled from every
+    /// feasible candidate probe. `Some` only for
+    /// [`Explorer::Pareto3`] runs; points are sorted by (error, area,
+    /// depth, step) and none dominates another.
+    pub fn pareto_surface(&self) -> Option<&[TradeoffPoint]> {
+        self.pareto.as_deref()
+    }
+
     /// Consume into the raw trajectory.
     pub fn into_trajectory(self) -> Vec<TrajectoryPoint> {
         self.trajectory
@@ -358,12 +385,15 @@ impl Exploration {
 }
 
 /// Shared per-stage context threaded through the pipeline internals:
-/// the optional observer, the cancellation token, and the wall-clock
-/// deadline. Everything `None` means "run like the pre-session code".
+/// the optional observer, the cancellation token, the wall-clock
+/// deadline, and the metrics registry (for the explorers'
+/// `explore.*` counters). Everything `None` means "run like the
+/// pre-session code".
 pub(crate) struct FlowContext<'a> {
     pub(crate) observer: Option<&'a dyn FlowObserver>,
     pub(crate) cancel: Option<&'a CancelToken>,
     pub(crate) deadline: Option<Instant>,
+    pub(crate) registry: Option<&'a Registry>,
 }
 
 impl FlowContext<'_> {
@@ -371,6 +401,7 @@ impl FlowContext<'_> {
         observer: None,
         cancel: None,
         deadline: None,
+        registry: None,
     };
 
     pub(crate) fn cancelled(&self) -> bool {
@@ -396,6 +427,14 @@ impl FlowContext<'_> {
     pub(crate) fn trajectory_point(&self, point: &TrajectoryPoint) {
         if let Some(o) = self.observer {
             o.on_trajectory_point(point);
+        }
+    }
+
+    /// Bump a counter on the attached registry, if any (no-op
+    /// otherwise — explorers call this unconditionally).
+    pub(crate) fn count(&self, name: &str, delta: u64) {
+        if let Some(r) = self.registry {
+            r.counter(name).add(delta);
         }
     }
 }
@@ -751,6 +790,7 @@ impl FlowSession<Decomposed> {
             observer: cfg.observer.as_deref(),
             cancel: cfg.cancel.as_ref(),
             deadline: cfg.wall_budget.map(|d| Instant::now() + d),
+            registry: cfg.metrics.as_deref(),
         };
         let workers = match &pool {
             Some(pool) => Workers::Pooled(pool),
@@ -813,22 +853,34 @@ impl FlowSession<Profiled> {
         })
     }
 
-    /// Run one greedy exploration against the cached profiles and
-    /// stimulus. Any number of explorations may be run on one session,
-    /// each with its own [`ExploreSpec`]; each is bit-identical to a
-    /// fresh one-shot flow with the same settings.
+    /// Run one exploration against the cached profiles and stimulus
+    /// (greedy by default; see [`ExploreSpec::explorer`]). Any number
+    /// of explorations may be run on one session, each with its own
+    /// [`ExploreSpec`]; each is bit-identical to a fresh one-shot flow
+    /// with the same settings.
     pub fn explore(&self, spec: &ExploreSpec) -> Exploration {
         let mut evaluator = self.pristine().clone();
+        // An annealing schedule with no explicit seed inherits the
+        // session's stimulus seed, so "same session config" implies
+        // "same trajectory" without extra plumbing.
+        let mut explorer = spec.explorer;
+        if let Explorer::Anneal(ref mut schedule) = explorer {
+            if schedule.seed.is_none() {
+                schedule.seed = Some(self.cfg.mc.seed);
+            }
+        }
         let cfg = ExploreConfig {
             metric: spec.metric,
             stop: spec.stop,
             prune: spec.prune,
             parallelism: self.cfg.parallelism,
+            explorer,
         };
         let ctx = FlowContext {
             observer: self.cfg.observer.as_deref(),
             cancel: spec.cancel.as_ref(),
             deadline: spec.budget.max_wall.map(|d| Instant::now() + d),
+            registry: self.cfg.metrics.as_deref(),
         };
         self.cfg.observe(|o| o.on_stage_start(FlowStage::Explore));
         let t0 = Instant::now();

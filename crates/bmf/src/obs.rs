@@ -1,7 +1,8 @@
 //! `bmf.*` metrics: factorization cost made visible next to the
 //! engine's `qor.*` counters.
 //!
-//! All three instruments are attached to a [`Factorizer`] via
+//! All three instruments are attached to a
+//! [`Factorizer`](crate::Factorizer) via
 //! [`Factorizer::with_counters`](crate::Factorizer::with_counters) and
 //! shared across its clones, so a whole profiling stage accumulates
 //! into one block.
@@ -42,9 +43,9 @@ pub struct FactorizeCounters {
     /// ASSO candidate columns (and exhaustive basis combinations)
     /// scored (`bmf.candidates_scored`). Deterministic.
     pub candidates_scored: Arc<Counter>,
-    /// Wall time of each [`Factorizer::factorize_on`]
-    /// (crate::Factorizer::factorize_on) call, in nanoseconds
-    /// (`bmf.factorize_wall_ns`).
+    /// Wall time of each
+    /// [`Factorizer::factorize_on`](crate::Factorizer::factorize_on)
+    /// call, in nanoseconds (`bmf.factorize_wall_ns`).
     pub factorize_ns: Arc<Histogram>,
 }
 

@@ -52,6 +52,9 @@ COMMANDS:
 FLOW OPTIONS (run / certify / profile / sweep / batch):
     --error-threshold <T>   Stop threshold for the driving metric [default: 0.05]
     --metric <M>            avg-relative | avg-absolute | bit-error-rate [default: avg-relative]
+    --explorer <E>          Search engine: greedy | beam:<k> | anneal | pareto3
+                            (beam alone means beam:4; pareto3 makes sweep --format
+                            json emit the 3-D error/area/depth surface) [default: greedy]
     --samples <N>           Monte-Carlo samples, rounded up to a multiple of 64;
                             reports carry the rounded count [default: 10000]
     --seed <S>              Stimulus RNG seed [default: 2980385332]

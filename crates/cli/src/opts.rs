@@ -6,12 +6,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, Once, OnceLock};
 use std::time::Duration;
 
-use blasys_core::report::parse_metric;
+use blasys_core::report::{parse_explorer, parse_metric};
 use blasys_core::session::{
     ExploreSpec, FlowConfig, FlowObserver, FlowSession, FlowStage, Profiled,
 };
 use blasys_core::{
-    FlowError, Observers, Parallelism, QorMetric, SubcircuitProfile, TraceObserver, TrajectoryPoint,
+    Explorer, FlowError, Observers, Parallelism, QorMetric, SubcircuitProfile, TraceObserver,
+    TrajectoryPoint,
 };
 use blasys_logic::blif::from_blif;
 use blasys_logic::Netlist;
@@ -58,6 +59,8 @@ pub struct FlowOpts {
     pub threshold: f64,
     /// The driving metric (`--metric`).
     pub metric: QorMetric,
+    /// The exploration engine (`--explorer`).
+    pub explorer: Explorer,
     /// Worker threads (`--threads`); `None` = flag not given.
     pub parallelism: Option<Parallelism>,
     /// Decomposition window limits k×m (`--limits`).
@@ -96,6 +99,7 @@ impl Default for FlowOpts {
             seed: 0xB1A5_1234,
             threshold: 0.05,
             metric: QorMetric::AvgRelative,
+            explorer: Explorer::Greedy,
             parallelism: None,
             limits: (10, 10),
             progress: false,
@@ -129,6 +133,15 @@ impl FlowOpts {
                 self.metric = parse_metric(v).ok_or_else(|| {
                     CliError::usage(format!(
                         "unknown metric `{v}` (expected avg-relative, avg-absolute or bit-error-rate)"
+                    ))
+                })?;
+                2
+            }
+            "--explorer" => {
+                let v = value(args, i)?;
+                self.explorer = parse_explorer(v).ok_or_else(|| {
+                    CliError::usage(format!(
+                        "unknown explorer `{v}` (expected greedy, beam:<k> with k >= 1, anneal or pareto3)"
                     ))
                 })?;
                 2
@@ -269,17 +282,21 @@ impl FlowOpts {
     }
 
     /// The per-exploration settings: the driving metric with the
-    /// `--error-threshold` stop.
+    /// `--error-threshold` stop and the selected `--explorer`.
     pub fn explore_spec(&self) -> ExploreSpec {
         ExploreSpec::new()
             .metric(self.metric)
             .threshold(self.threshold)
+            .explorer(self.explorer)
     }
 
     /// Like [`FlowOpts::explore_spec`] but walking the full trajectory
     /// (`sweep` mode).
     pub fn explore_spec_exhaust(&self) -> ExploreSpec {
-        ExploreSpec::new().metric(self.metric).exhaust()
+        ExploreSpec::new()
+            .metric(self.metric)
+            .exhaust()
+            .explorer(self.explorer)
     }
 
     /// Open and profile a session for `file`'s netlist — the shared

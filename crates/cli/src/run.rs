@@ -71,7 +71,8 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
         eprintln!("wrote structural Verilog to {path}");
     }
 
-    let mut report = FlowReport::from_result_with_netlist(&result, step, &synthesized);
+    let mut report = FlowReport::from_result_with_netlist(&result, step, &synthesized)
+        .with_explorer(opts.explorer);
     if opts.metrics {
         if let Some(obs) = opts.obs() {
             report = report.with_metrics(&obs.registry.snapshot());

@@ -5,8 +5,8 @@
 //! the full trade-off curve and every rung is read off it (the stage
 //! reuse the CLI used to hand-roll now lives in the library).
 
-use blasys_core::pareto::{pareto_front, tradeoff_curve};
-use blasys_core::report::metric_name;
+use blasys_core::pareto::{pareto_front, tradeoff_curve, TradeoffPoint};
+use blasys_core::report::{explorer_name, metric_name};
 use blasys_core::Json;
 
 use crate::opts::{
@@ -56,12 +56,15 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
 
     let nl = parse_blif_file(&file)?;
     // Profile once; one exhaustive walk serves every threshold on the
-    // ladder.
-    let result = {
+    // ladder. A pareto3 exploration also hands back its 3-D surface
+    // before the session is consumed into the result.
+    let (result, surface) = {
         let _root = opts.span("sweep");
         let session = opts.profiled_session(&file, &nl)?;
         let exploration = session.explore(&opts.explore_spec_exhaust());
-        session.into_result(exploration)
+        let surface: Option<Vec<TradeoffPoint>> =
+            exploration.pareto_surface().map(<[TradeoffPoint]>::to_vec);
+        (session.into_result(exploration), surface)
     };
     let baseline = result.baseline_metrics();
 
@@ -110,9 +113,10 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
     } else {
         let curve = tradeoff_curve(result.trajectory(), opts.metric);
         let front = pareto_front(&curve);
-        let doc = Json::obj([
+        let mut doc = Json::obj([
             ("circuit", Json::str(nl.name())),
             ("metric", Json::str(metric_name(opts.metric))),
+            ("explorer", Json::str(explorer_name(&opts.explorer))),
             (
                 "ladder",
                 Json::Arr(
@@ -147,6 +151,27 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
                 ),
             ),
         ]);
+        // `--explorer pareto3` adds the full 3-D dominance surface
+        // (every feasible candidate probed, not just committed steps).
+        if let (Some(surface), Json::Obj(fields)) = (&surface, &mut doc) {
+            fields.push((
+                "pareto3_surface".to_string(),
+                Json::Arr(
+                    surface
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("step", Json::UInt(p.step as u64)),
+                                ("error", Json::Num(p.error)),
+                                ("model_area_um2", Json::Num(p.area_um2)),
+                                ("norm_area", Json::Num(p.norm_area)),
+                                ("model_depth_ns", Json::Num(p.depth_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         write_output(&out, &doc.pretty())?;
         opts.finish()
     }

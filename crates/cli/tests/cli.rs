@@ -381,16 +381,103 @@ fn missing_file_exits_1() {
 #[test]
 fn usage_errors_exit_2() {
     for args in [
-        vec!["run"],                                 // missing file
-        vec!["run", "x.blif", "--bogus"],            // unknown flag
-        vec!["run", "x.blif", "--metric", "nope"],   // bad metric
-        vec!["run", "x.blif", "--threads", "many"],  // bad thread count
-        vec!["sweep", "x.blif", "--format", "yaml"], // bad format
-        vec!["frobnicate"],                          // unknown command
+        vec!["run"],                                      // missing file
+        vec!["run", "x.blif", "--bogus"],                 // unknown flag
+        vec!["run", "x.blif", "--metric", "nope"],        // bad metric
+        vec!["run", "x.blif", "--threads", "many"],       // bad thread count
+        vec!["sweep", "x.blif", "--format", "yaml"],      // bad format
+        vec!["frobnicate"],                               // unknown command
+        vec!["run", "x.blif", "--explorer", "beam:0"],    // zero-width beam
+        vec!["run", "x.blif", "--explorer", "hillclimb"], // unknown engine
+        vec!["sweep", "x.blif", "--explorer", "beam:"],   // missing width
     ] {
         let out = blasys(&args);
         assert_eq!(out.status.code(), Some(2), "args {args:?}");
     }
+    // The explorer diagnostic names the flag and the accepted grammar.
+    let out = blasys(&["run", "x.blif", "--explorer", "beam:0"]);
+    assert!(
+        stderr(&out).contains("unknown explorer"),
+        "{}",
+        stderr(&out)
+    );
+    assert!(stderr(&out).contains("beam:<k>"), "{}", stderr(&out));
+}
+
+#[test]
+fn run_accepts_every_explorer_and_records_it_in_the_report() {
+    let dir = scratch("explorers");
+    let bench = benchmarks_dir().join("adder4.blif");
+    for (flag, recorded) in [
+        ("greedy", "\"explorer\": \"greedy\""),
+        ("beam:2", "\"explorer\": \"beam:2\""),
+        ("anneal", "\"explorer\": \"anneal\""),
+        ("pareto3", "\"explorer\": \"pareto3\""),
+    ] {
+        let report = dir.join(format!("report-{}.json", flag.replace(':', "-")));
+        let out = blasys(
+            &[
+                &["run", bench.to_str().unwrap()],
+                FAST,
+                &["--explorer", flag, "--report", report.to_str().unwrap()],
+            ]
+            .concat(),
+        );
+        assert!(out.status.success(), "{flag}: {}", stderr(&out));
+        let r = std::fs::read_to_string(&report).expect("read report");
+        assert!(r.contains(recorded), "{flag} report missing tag: {r}");
+        if let Some(width) = flag.strip_prefix("beam:") {
+            assert!(
+                r.contains(&format!("\"beam_width\": {width}")),
+                "beam report missing width: {r}"
+            );
+        } else {
+            assert!(!r.contains("\"beam_width\""), "{flag} leaked width: {r}");
+        }
+    }
+    // `beam` alone is shorthand for the default width.
+    let out = blasys(
+        &[
+            &["run", bench.to_str().unwrap()],
+            FAST,
+            &["--explorer", "beam"],
+        ]
+        .concat(),
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("\"explorer\": \"beam:4\""));
+}
+
+#[test]
+fn sweep_json_with_pareto3_emits_the_surface() {
+    let bench = benchmarks_dir().join("mult3.blif");
+    let out = blasys(
+        &[
+            &["sweep", bench.to_str().unwrap()],
+            FAST,
+            &["--format", "json", "--explorer", "pareto3"],
+        ]
+        .concat(),
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let s = stdout(&out);
+    assert_valid_json(&s);
+    assert!(s.contains("\"explorer\": \"pareto3\""), "{s}");
+    assert!(s.contains("\"pareto3_surface\""), "{s}");
+    assert!(s.contains("\"model_depth_ns\""), "{s}");
+    // The greedy sweep stays surface-free.
+    let out = blasys(
+        &[
+            &["sweep", bench.to_str().unwrap()],
+            FAST,
+            &["--format", "json"],
+        ]
+        .concat(),
+    );
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let s = stdout(&out);
+    assert!(s.contains("\"explorer\": \"greedy\""), "{s}");
+    assert!(!s.contains("\"pareto3_surface\""), "{s}");
 }
 
 #[test]

@@ -1,6 +1,9 @@
 //! Property-based tests over the core data structures and invariants,
 //! spanning crates.
 
+use blasys_repro::blasys::pareto::{
+    pareto_front, pareto_front3, pareto_front_nd, TradeoffPoint, AXES3,
+};
 use blasys_repro::bmf::{hamming, BoolMatrix, Factorizer};
 use blasys_repro::decomp::{cluster_truth_table, decompose, substitute, ClusterImpl, DecompConfig};
 use blasys_repro::logic::equiv::{check_equiv, EquivConfig};
@@ -136,4 +139,92 @@ proptest! {
         let back = from_blif(&text).expect("own output must parse");
         prop_assert!(check_equiv(&nl, &back, &EquivConfig::default()).is_equal());
     }
+
+    /// n-D dominance front invariants on random 3-D point clouds:
+    /// no returned point is dominated by *any* input point, and every
+    /// dropped point is dominated by *some* returned point.
+    #[test]
+    fn nd_pareto_front_is_exactly_the_non_dominated_set(points in arb_points()) {
+        let front = pareto_front3(&points);
+        let dominates = |a: &TradeoffPoint, b: &TradeoffPoint| {
+            AXES3.iter().all(|axis| axis(a) <= axis(b))
+                && AXES3.iter().any(|axis| axis(a) < axis(b))
+        };
+        for f in &front {
+            prop_assert!(
+                !points.iter().any(|p| dominates(p, f)),
+                "returned point at step {} is dominated",
+                f.step
+            );
+        }
+        for p in &points {
+            let kept = front.iter().any(|f| f == p);
+            if !kept {
+                prop_assert!(
+                    front.iter().any(|f| dominates(f, p)),
+                    "dropped point at step {} dominated by no returned point",
+                    p.step
+                );
+            }
+        }
+        prop_assert!(!front.is_empty() || points.is_empty());
+    }
+
+    /// The n-D front is a pure function of the point *set*: shuffling
+    /// the input never changes the output.
+    #[test]
+    fn nd_pareto_front_is_stable_under_permutation(
+        points in arb_points(),
+        seed in any::<u64>(),
+    ) {
+        let reference = pareto_front3(&points);
+        let mut shuffled = points;
+        // Deterministic Fisher-Yates driven by the proptest seed.
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        prop_assert_eq!(pareto_front3(&shuffled), reference);
+    }
+
+    /// Regression: on the (error, area) axes the n-D front keeps
+    /// exactly the same *set* of optima as the 2-D skyline that
+    /// `tradeoff_curve` callers rely on (the skyline additionally
+    /// drops duplicate-coordinate points; the n-D front keeps mutually
+    /// non-dominating ties, so compare de-duplicated coordinates).
+    #[test]
+    fn nd_front_agrees_with_2d_skyline_on_two_axes(points in arb_points()) {
+        let axes2: [fn(&TradeoffPoint) -> f64; 2] =
+            [|p: &TradeoffPoint| p.error, |p: &TradeoffPoint| p.area_um2];
+        let nd: Vec<(u64, u64)> = pareto_front_nd(&points, &axes2)
+            .iter()
+            .map(|p| (p.error.to_bits(), p.area_um2.to_bits()))
+            .collect();
+        let mut skyline: Vec<(u64, u64)> = pareto_front(&points)
+            .iter()
+            .map(|p| (p.error.to_bits(), p.area_um2.to_bits()))
+            .collect();
+        let mut nd_dedup = nd;
+        nd_dedup.dedup();
+        skyline.dedup();
+        prop_assert_eq!(nd_dedup, skyline);
+    }
+}
+
+/// Random 3-D trade-off point clouds, with duplicate coordinates made
+/// likely (values snap to a coarse grid) so tie handling is exercised.
+fn arb_points() -> impl Strategy<Value = Vec<TradeoffPoint>> {
+    proptest::collection::vec((0u8..=12, 0u8..=12, 0u8..=12), 0..40).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(step, (e, a, d))| TradeoffPoint {
+                error: f64::from(e) / 8.0,
+                area_um2: f64::from(a) * 10.0,
+                norm_area: f64::from(a) / 12.0,
+                depth_ns: f64::from(d) / 2.0,
+                step,
+            })
+            .collect()
+    })
 }

@@ -16,7 +16,9 @@ use std::sync::Arc;
 use blasys_repro::blasys::session::{
     CancelToken, ExploreSpec, FlowConfig, FlowObserver, FlowSession, FlowStage, StopReason,
 };
-use blasys_repro::blasys::{Blasys, QorMetric, SubcircuitProfile, TrajectoryPoint};
+use blasys_repro::blasys::{
+    AnnealSchedule, Blasys, Explorer, QorMetric, SubcircuitProfile, TrajectoryPoint,
+};
 use blasys_repro::circuits::{adder, multiplier};
 use blasys_repro::logic::Netlist;
 use blasys_repro::par::Parallelism;
@@ -265,6 +267,134 @@ fn cancelled_exploration_is_a_prefix_of_the_uncancelled_one() {
             let synthesized = result.synthesize_step(last);
             assert_eq!(synthesized.num_outputs(), nl.num_outputs());
             assert!(result.metrics_step(last).area_um2 > 0.0);
+        }
+    }
+}
+
+/// The engines whose stop/prefix behavior the tests below pin, with
+/// the stop reason each reports when left to run out on its own.
+fn engine_specs() -> Vec<(&'static str, ExploreSpec, StopReason)> {
+    vec![
+        (
+            "beam:3",
+            ExploreSpec::new().explorer(Explorer::Beam { width: 3 }),
+            StopReason::Exhausted,
+        ),
+        (
+            "anneal",
+            ExploreSpec::new()
+                .threshold(0.10)
+                .explorer(Explorer::Anneal(AnnealSchedule {
+                    steps: 64,
+                    ..AnnealSchedule::default()
+                })),
+            StopReason::ScheduleComplete,
+        ),
+    ]
+}
+
+#[test]
+fn cancelled_beam_and_anneal_runs_are_exact_prefixes() {
+    struct CancelAfter {
+        token: CancelToken,
+        after: usize,
+        seen: AtomicUsize,
+    }
+    impl FlowObserver for CancelAfter {
+        fn on_trajectory_point(&self, _point: &TrajectoryPoint) {
+            if self.seen.fetch_add(1, Ordering::Relaxed) + 1 >= self.after {
+                self.token.cancel();
+            }
+        }
+    }
+
+    let nl = adder(8);
+    for (label, spec, uninterrupted_stop) in engine_specs() {
+        let full = FlowSession::open(&nl, FlowConfig::new().samples(SAMPLES).seed(SEED))
+            .unwrap()
+            .profile()
+            .unwrap()
+            .explore(&spec);
+        assert_eq!(full.stop_reason(), uninterrupted_stop, "{label}");
+        assert!(full.trajectory().len() > 2, "{label} walked too little");
+
+        for after in [1, 2, full.trajectory().len() / 2] {
+            let token = CancelToken::new();
+            let session = FlowSession::open(
+                &nl,
+                FlowConfig::new()
+                    .samples(SAMPLES)
+                    .seed(SEED)
+                    .observer(Arc::new(CancelAfter {
+                        token: token.clone(),
+                        after,
+                        seen: AtomicUsize::new(0),
+                    })),
+            )
+            .unwrap()
+            .profile()
+            .unwrap();
+            let cancelled = session.explore(&spec.clone().cancel(token));
+            assert_eq!(
+                cancelled.stop_reason(),
+                StopReason::Cancelled,
+                "{label} after {after}"
+            );
+            assert_eq!(cancelled.trajectory().len(), after, "{label}");
+            assert_bit_identical(
+                &format!("{label} cancelled after {after}"),
+                cancelled.trajectory(),
+                &full.trajectory()[..after],
+            );
+            // The partial trajectory still packages into a result.
+            let result = session.result(&cancelled);
+            assert!(result.metrics_step(result.trajectory().len() - 1).area_um2 > 0.0);
+        }
+    }
+}
+
+#[test]
+fn beam_and_anneal_probe_budgets_yield_deterministic_prefixes() {
+    let nl = multiplier(4);
+    let session = FlowSession::open(&nl, FlowConfig::new().samples(SAMPLES).seed(SEED))
+        .unwrap()
+        .profile()
+        .unwrap();
+    for (label, spec, _) in engine_specs() {
+        let full = session.explore(&spec);
+        assert!(full.probes() > 4, "{label} probed too little");
+        for divisor in [2, 4] {
+            let cap = full.probes() / divisor;
+            let capped = session.explore(&spec.clone().probe_budget(cap));
+            assert_eq!(
+                capped.stop_reason(),
+                StopReason::ProbeBudget,
+                "{label} /{divisor}"
+            );
+            assert!(
+                capped.probes() <= cap,
+                "{label}: {} > {cap}",
+                capped.probes()
+            );
+            // Annealing only records *accepted* moves, so a capped run
+            // can tie the full length; it must never exceed it.
+            assert!(
+                capped.trajectory().len() <= full.trajectory().len(),
+                "{label}"
+            );
+            assert_bit_identical(
+                &format!("{label} probe budget /{divisor}"),
+                capped.trajectory(),
+                &full.trajectory()[..capped.trajectory().len()],
+            );
+            // Re-running with the same cap reproduces exactly.
+            let again = session.explore(&spec.clone().probe_budget(cap));
+            assert_eq!(again.probes(), capped.probes(), "{label}");
+            assert_bit_identical(
+                &format!("{label} rerun"),
+                again.trajectory(),
+                capped.trajectory(),
+            );
         }
     }
 }
