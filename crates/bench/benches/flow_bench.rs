@@ -126,5 +126,39 @@ fn bench_explorers(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_flow, bench_profile_stage, bench_explorers);
+/// Static-analysis cost: the full `blasys-lint` pass registry over the
+/// largest shipped circuits, on both surfaces the CLI lints — the
+/// parsed BLIF document (admission-path lints) and the built netlist
+/// (liveness fallbacks plus the simulation-signature duplicate-cone
+/// scan, the dominant term).
+fn bench_lint(c: &mut Criterion) {
+    use blasys_lint::{run_lints, LintConfig, LintTarget};
+    use blasys_logic::blif::{parse_blif_doc, to_blif};
+
+    let nl = multiplier(6).cleaned();
+    let text = to_blif(&nl);
+    let doc = parse_blif_doc(&text).expect("round trip parses");
+    let cfg = LintConfig::default();
+
+    let mut g = c.benchmark_group("lint");
+    g.sample_size(10);
+    g.bench_function("mult6_doc", |b| {
+        b.iter(|| run_lints(&LintTarget::new().with_doc(&doc), &cfg))
+    });
+    g.bench_function("mult6_netlist", |b| {
+        b.iter(|| run_lints(&LintTarget::new().with_netlist(&nl), &cfg))
+    });
+    g.bench_function("mult6_combined", |b| {
+        b.iter(|| run_lints(&LintTarget::new().with_doc(&doc).with_netlist(&nl), &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flow,
+    bench_profile_stage,
+    bench_explorers,
+    bench_lint
+);
 criterion_main!(benches);

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use blasys_bmf::{Algebra, Factorizer};
 use blasys_decomp::{decompose, substitute, ClusterImpl, DecompConfig, Partition};
+use blasys_lint::Diagnostic;
 use blasys_logic::Netlist;
 use blasys_par::Parallelism;
 use blasys_synth::estimate::{estimate, EstimateConfig};
@@ -299,8 +300,12 @@ impl Blasys {
 
 /// Why a netlist cannot be driven through the flow (the checks behind
 /// [`Blasys::try_run`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FlowError {
+    /// The netlist failed admission linting: it violates storage
+    /// invariants or carries error-level defects (see the carried
+    /// [`Diagnostic`]s, which name the offending signals and nodes).
+    InvalidNetlist(Vec<Diagnostic>),
     /// The netlist declares no primary outputs, so there is no QoR to
     /// measure.
     NoOutputs,
@@ -327,6 +332,10 @@ pub enum FlowError {
 impl std::fmt::Display for FlowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            FlowError::InvalidNetlist(diags) => {
+                let msgs: Vec<String> = diags.iter().map(|d| d.message.clone()).collect();
+                write!(f, "invalid netlist: {}", msgs.join("; "))
+            }
             FlowError::NoOutputs => write!(f, "netlist has no primary outputs"),
             FlowError::NoInputs => write!(f, "netlist has no primary inputs"),
             FlowError::NoGates => write!(f, "netlist contains no gates to approximate"),
@@ -417,6 +426,9 @@ pub struct BlasysResult {
     trajectory: Vec<TrajectoryPoint>,
     library: CellLibrary,
     estimate: EstimateConfig,
+    /// Release-mode opt-in for the interface verifier on synthesized
+    /// steps (debug builds always verify).
+    verify_ir: bool,
 }
 
 impl BlasysResult {
@@ -429,6 +441,7 @@ impl BlasysResult {
         trajectory: Vec<TrajectoryPoint>,
         library: CellLibrary,
         estimate: EstimateConfig,
+        verify_ir: bool,
     ) -> BlasysResult {
         BlasysResult {
             original,
@@ -437,6 +450,7 @@ impl BlasysResult {
             trajectory,
             library,
             estimate,
+            verify_ir,
         }
     }
 
@@ -485,7 +499,15 @@ impl BlasysResult {
             .zip(&point.degrees)
             .map(|(p, &f)| ClusterImpl::Replace(p.variant(f).netlist.clone()))
             .collect();
-        substitute(&self.original, &self.partition, &impls).cleaned()
+        let synthesized = substitute(&self.original, &self.partition, &impls).cleaned();
+        if cfg!(debug_assertions) || self.verify_ir {
+            // Any violation here is a bug in substitute/cleaned, not
+            // in the caller's input — assert, don't return.
+            if let Err(diags) = blasys_lint::verify_interface(&self.original, &synthesized) {
+                panic!("synthesize_step({step}) broke the PI/PO interface: {diags:?}");
+            }
+        }
+        synthesized
     }
 
     /// Area / power / delay of one trajectory point's synthesized

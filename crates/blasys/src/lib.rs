@@ -119,6 +119,7 @@ pub mod qor;
 pub mod report;
 pub mod session;
 
+pub use blasys_lint as lint;
 pub use blasys_par::Parallelism;
 pub use certify::{prove_exact, CertifiedPoint};
 pub use explore::{AnnealSchedule, ExploreConfig, Explorer, StopCriterion, TrajectoryPoint};
@@ -127,7 +128,7 @@ pub use montecarlo::{Evaluator, McConfig, ProbeState, Signal, TableNetwork};
 pub use obs::{Observers, QorCounters, TraceObserver};
 pub use profile::{profile_partition, SubcircuitProfile, Variant};
 pub use qor::{QorMetric, QorReport};
-pub use report::{snapshot_json, FlowReport, Json};
+pub use report::{diagnostic_json, diagnostics_json, snapshot_json, FlowReport, Json};
 pub use session::{
     Budget, CancelToken, Exploration, ExploreSpec, FlowConfig, FlowObserver, FlowSession,
     FlowStage, StopReason,

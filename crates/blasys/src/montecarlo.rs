@@ -347,6 +347,83 @@ impl TableNetwork {
         self.po_sigs.len()
     }
 
+    /// Assert the SoA/CSR layout invariants the probe hot path relies
+    /// on: consistent offset tables, `2^k` rows per cluster, strictly
+    /// topological cone order, and every referenced signal in range.
+    /// Called at the session's pristine-evaluator boundary in debug
+    /// builds (and under `verify_ir`); a violation is a constructor or
+    /// `set_table` bug, so this panics rather than returning.
+    pub(crate) fn debug_verify(&self) {
+        let n = self.n;
+        let csr = [
+            ("input_off", &self.input_off, self.inputs.len()),
+            ("row_off", &self.row_off, self.rows.len()),
+            ("down_off", &self.down_off, self.down.len()),
+            ("cone_off", &self.cone_off, self.cone_pos.len()),
+        ];
+        for (name, off, flat_len) in csr {
+            assert_eq!(off.len(), n + 1, "{name} must have n + 1 entries");
+            assert_eq!(off[0], 0, "{name} must start at 0");
+            assert!(off.windows(2).all(|w| w[0] <= w[1]), "{name} must ascend");
+            assert_eq!(off[n], flat_len, "{name} must cover its flat array");
+        }
+        assert_eq!(
+            self.out_base.len(),
+            n + 1,
+            "out_base must have n + 1 entries"
+        );
+        assert_eq!(self.out_base[0], 0, "out_base must start at 0");
+        assert!(
+            self.out_base.windows(2).all(|w| w[0] <= w[1]),
+            "out_base must ascend"
+        );
+        assert_eq!(self.cone_mask.len(), n, "one cone mask per cluster");
+        let check_signal = |sig: &Signal, user: usize| match *sig {
+            Signal::Pi(i) => assert!(i < self.num_pis, "PI {i} out of range"),
+            Signal::Const(_) => {}
+            Signal::ClusterOut { idx, out } => {
+                assert!(idx < user, "cluster {user} reads non-earlier cluster {idx}");
+                let outputs = self.out_base[idx + 1] - self.out_base[idx];
+                assert!(out < outputs, "output {out} out of range for cluster {idx}");
+            }
+        };
+        for i in 0..n {
+            let k = self.input_off[i + 1] - self.input_off[i];
+            assert!(k <= 16, "cluster {i} has {k} inputs; rows index a u16");
+            assert_eq!(
+                self.row_off[i + 1] - self.row_off[i],
+                1usize << k,
+                "cluster {i} must hold 2^k table rows"
+            );
+            for sig in &self.inputs[self.input_off[i]..self.input_off[i + 1]] {
+                check_signal(sig, i);
+            }
+            let down = &self.down[self.down_off[i]..self.down_off[i + 1]];
+            assert_eq!(down.first(), Some(&i), "cone of {i} must start with itself");
+            assert!(
+                down.windows(2).all(|w| w[0] < w[1]) && down.iter().all(|&j| j < n),
+                "cone of {i} must be strictly ascending cluster indices"
+            );
+            let cone = &self.cone_pos[self.cone_off[i]..self.cone_off[i + 1]];
+            assert!(
+                cone.windows(2).all(|w| w[0] < w[1])
+                    && cone.iter().all(|&o| o < self.po_sigs.len()),
+                "PO cone of {i} must be strictly ascending output indices"
+            );
+            for &o in cone {
+                assert!(
+                    o >= 64 || self.cone_mask[i] >> o & 1 == 1,
+                    "cone_mask of {i} must cover PO {o}"
+                );
+            }
+        }
+        // PO references use `n` as the user index: any cluster may
+        // drive a primary output.
+        for sig in &self.po_sigs {
+            check_signal(sig, n);
+        }
+    }
+
     /// Longest-path depth of the cluster DAG under per-cluster delays
     /// (`delays[cluster]`, ns). Primary inputs and constants arrive at
     /// time zero; a cluster's outputs arrive at the latest input

@@ -231,6 +231,38 @@ pub fn snapshot_json(snapshot: &blasys_obs::Snapshot) -> Json {
     )
 }
 
+/// Project one lint [`Diagnostic`](blasys_lint::Diagnostic) into the
+/// report JSON model: `{"lint": id, "severity": .., "message": ..,
+/// "signals": [..], "nodes": [..], "line": n|null}`.
+pub fn diagnostic_json(d: &blasys_lint::Diagnostic) -> Json {
+    Json::obj([
+        ("lint", Json::str(d.lint)),
+        ("severity", Json::str(d.severity.as_str())),
+        ("message", Json::str(d.message.clone())),
+        (
+            "signals",
+            Json::Arr(d.signals.iter().map(Json::str).collect()),
+        ),
+        (
+            "nodes",
+            Json::Arr(d.nodes.iter().map(|&n| Json::UInt(n as u64)).collect()),
+        ),
+        (
+            "line",
+            match d.line {
+                Some(l) => Json::UInt(l as u64),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+/// Array form of [`diagnostic_json`], the payload behind
+/// `blasys lint --format json`.
+pub fn diagnostics_json(diags: &[blasys_lint::Diagnostic]) -> Json {
+    Json::Arr(diags.iter().map(diagnostic_json).collect())
+}
+
 /// The QoR report of one completed flow run, ready for JSON emission —
 /// the payload behind `blasys run --report`.
 #[derive(Debug, Clone)]

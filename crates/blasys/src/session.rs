@@ -459,6 +459,7 @@ pub struct FlowConfig {
     pub(crate) metrics: Option<Arc<Registry>>,
     pub(crate) cancel: Option<CancelToken>,
     pub(crate) wall_budget: Option<Duration>,
+    pub(crate) verify_ir: bool,
 }
 
 impl std::fmt::Debug for FlowConfig {
@@ -474,6 +475,7 @@ impl std::fmt::Debug for FlowConfig {
             .field("metrics", &self.metrics.is_some())
             .field("cancel", &self.cancel.is_some())
             .field("wall_budget", &self.wall_budget)
+            .field("verify_ir", &self.verify_ir)
             .finish_non_exhaustive()
     }
 }
@@ -502,6 +504,7 @@ impl FlowConfig {
             metrics: None,
             cancel: None,
             wall_budget: None,
+            verify_ir: false,
         }
     }
 
@@ -634,6 +637,16 @@ impl FlowConfig {
         self
     }
 
+    /// Assert the flow's internal IR invariants at every stage
+    /// boundary (partition consistency after decompose, table-network
+    /// CSR layout before exploration, PI/PO interface preservation on
+    /// every synthesized step) even in release builds. Debug builds
+    /// always assert; the default release build pays nothing.
+    pub fn verify_ir(mut self, verify: bool) -> FlowConfig {
+        self.verify_ir = verify;
+        self
+    }
+
     fn observe(&self, f: impl FnOnce(&dyn FlowObserver)) {
         if let Some(o) = &self.observer {
             f(o.as_ref());
@@ -702,6 +715,10 @@ impl FlowSession<Decomposed> {
     /// [`Blasys::try_run`](crate::flow::Blasys::try_run): no outputs,
     /// more than 64 outputs, no inputs, or nothing to approximate.
     pub fn open(nl: &Netlist, cfg: FlowConfig) -> Result<FlowSession<Decomposed>, FlowError> {
+        // Netlists reach here from untrusted sources (parsed BLIF), so
+        // the storage-invariant check always runs — it is linear and
+        // cheap next to decomposition.
+        blasys_lint::verify_netlist(nl).map_err(FlowError::InvalidNetlist)?;
         if nl.num_outputs() == 0 {
             return Err(FlowError::NoOutputs);
         }
@@ -726,6 +743,13 @@ impl FlowSession<Decomposed> {
         cfg.observe(|o| o.on_stage_end(FlowStage::Decompose));
         if partition.is_empty() {
             return Err(FlowError::NoGates);
+        }
+        if cfg!(debug_assertions) || cfg.verify_ir {
+            // A bad partition from a valid netlist is a decomposer
+            // bug, not an input problem — assert, don't return.
+            if let Err(diags) = blasys_lint::verify_partition(nl, &partition) {
+                panic!("decompose produced an inconsistent partition: {diags:?}");
+            }
         }
         let workers = cfg.parallelism.worker_count();
         let pool = (workers >= 2).then(|| {
@@ -849,6 +873,9 @@ impl FlowSession<Profiled> {
             if let Some(r) = &self.cfg.metrics {
                 evaluator.set_counters(Arc::new(QorCounters::register(r)));
             }
+            if cfg!(debug_assertions) || self.cfg.verify_ir {
+                evaluator.network().debug_verify();
+            }
             evaluator
         })
     }
@@ -914,6 +941,7 @@ impl FlowSession<Profiled> {
             exploration.trajectory.clone(),
             self.cfg.library.clone(),
             self.cfg.estimate,
+            self.cfg.verify_ir,
         )
     }
 
@@ -927,6 +955,7 @@ impl FlowSession<Profiled> {
             exploration.trajectory,
             self.cfg.library,
             self.cfg.estimate,
+            self.cfg.verify_ir,
         )
     }
 }

@@ -5,6 +5,12 @@
 //! and profiled once, then explored once per requested threshold
 //! (`--thresholds` turns the single `--error-threshold` into a
 //! ladder, reusing the cached profile for every rung).
+//!
+//! Every circuit is pre-flight linted on admission (see
+//! [`parse_blif_file`]): a structurally broken BLIF — combinational
+//! cycle, undriven or multiply-driven net, undefined output — is
+//! skipped and reported in the failure list without aborting the rest
+//! of the corpus.
 
 use std::path::PathBuf;
 
@@ -113,7 +119,10 @@ pub fn main(args: &[String]) -> Result<(), CliError> {
         };
         run().map_err(|e| {
             let msg = match e {
-                CliError::Usage(m) | CliError::Runtime(m) | CliError::Flow(m) => m,
+                CliError::Usage(m)
+                | CliError::Runtime(m)
+                | CliError::Flow(m)
+                | CliError::DeniedWarnings(m) => m,
             };
             format!("{shown}: {msg}")
         })

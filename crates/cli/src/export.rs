@@ -13,13 +13,16 @@ use crate::opts::{set_positional, CliError};
 
 /// The shipped corpus: small instances of the paper's generator
 /// families, kept tiny so `batch` and the CI smoke step finish fast.
+/// Netlists are [`cleaned`](Netlist::cleaned) before export so the
+/// shipped BLIF carries no dead logic and stays warning-free under
+/// `blasys lint --deny warnings` (the CI gate).
 pub fn corpus() -> Vec<(&'static str, Netlist)> {
     vec![
-        ("adder4", adder(4)),
-        ("adder8", adder(8)),
-        ("mult3", multiplier(3)),
-        ("mult4", multiplier(4)),
-        ("butterfly4", butterfly(4)),
+        ("adder4", adder(4).cleaned()),
+        ("adder8", adder(8).cleaned()),
+        ("mult3", multiplier(3).cleaned()),
+        ("mult4", multiplier(4).cleaned()),
+        ("butterfly4", butterfly(4).cleaned()),
     ]
 }
 

@@ -1,0 +1,112 @@
+//! `blasys lint` — static analysis of one BLIF circuit.
+//!
+//! Runs the full `blasys-lint` registry over the parsed document and
+//! (when the document is buildable) the built netlist: structural
+//! defects, liveness, constant-foldable tables, duplicated cones.
+//! Exit codes: `0` clean (or info/warn findings without `--deny`),
+//! `2` error-level findings, `3` warning-level findings under
+//! `--deny warnings`.
+
+use blasys_core::report::{diagnostics_json, Json};
+use blasys_lint::{run_lints, LintConfig, LintReport, LintTarget};
+use blasys_logic::blif::parse_blif_doc;
+
+use crate::opts::{require, set_positional, value, write_output, CliError};
+
+pub fn main(args: &[String]) -> Result<(), CliError> {
+    let mut file: Option<String> = None;
+    let mut format = String::from("text");
+    let mut deny_warnings = false;
+    let mut out = String::from("-");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                format = value(args, i)?.to_string();
+                if format != "text" && format != "json" {
+                    return Err(CliError::usage(format!(
+                        "--format must be `text` or `json`, got `{format}`"
+                    )));
+                }
+                i += 2;
+            }
+            "--deny" => {
+                let what = value(args, i)?;
+                if what != "warnings" {
+                    return Err(CliError::usage(format!(
+                        "--deny supports only `warnings`, got `{what}`"
+                    )));
+                }
+                deny_warnings = true;
+                i += 2;
+            }
+            "--out" => {
+                out = value(args, i)?.to_string();
+                i += 2;
+            }
+            a => {
+                set_positional(&mut file, a)?;
+                i += 1;
+            }
+        }
+    }
+    let file = require(file, "input BLIF file")?;
+
+    let text = std::fs::read_to_string(&file)
+        .map_err(|e| CliError::runtime(format!("cannot read {file}: {e}")))?;
+    let doc = parse_blif_doc(&text).map_err(|e| CliError::runtime(format!("{file}: {e}")))?;
+    let config = LintConfig::default().deny_warnings(deny_warnings);
+    // One combined target when the document builds: the liveness
+    // lints prefer the document surface (source lines), the
+    // redundancy lints need the built netlist. A document that cannot
+    // build (cycle, undriven net, ...) is linted structurally only.
+    let built = doc.build().ok();
+    let mut target = LintTarget::new().with_doc(&doc);
+    if let Some(nl) = &built {
+        target = target.with_netlist(nl);
+    }
+    let report = run_lints(&target, &config);
+
+    render(&file, &report, &format, &out)?;
+
+    let (errors, warnings, _) = report.counts();
+    if report.has_errors() {
+        return Err(CliError::Flow(format!(
+            "{file}: {errors} error-level lint finding(s)"
+        )));
+    }
+    if report.denied() {
+        return Err(CliError::DeniedWarnings(format!(
+            "{file}: {warnings} warning(s) denied by --deny warnings"
+        )));
+    }
+    Ok(())
+}
+
+fn render(file: &str, report: &LintReport, format: &str, out: &str) -> Result<(), CliError> {
+    let (errors, warnings, infos) = report.counts();
+    if format == "json" {
+        let payload = Json::obj([
+            ("file", Json::str(file)),
+            ("diagnostics", diagnostics_json(&report.diagnostics)),
+            (
+                "counts",
+                Json::obj([
+                    ("error", Json::UInt(errors as u64)),
+                    ("warn", Json::UInt(warnings as u64)),
+                    ("info", Json::UInt(infos as u64)),
+                ]),
+            ),
+            ("deny_warnings", Json::Bool(report.deny_warnings)),
+        ]);
+        return write_output(out, &payload.pretty());
+    }
+    let mut text = String::new();
+    for d in &report.diagnostics {
+        text.push_str(&format!("{file}: {d}\n"));
+    }
+    text.push_str(&format!(
+        "{file}: {errors} error(s), {warnings} warning(s), {infos} note(s)\n"
+    ));
+    write_output(out, &text)
+}

@@ -15,19 +15,24 @@
 //!   CSV or JSON out;
 //! * [`batch`] — run a whole directory of BLIF circuits across the
 //!   `blasys-par` thread pool with an aggregate summary table;
+//! * [`lint`] — static analysis of one BLIF circuit: structural
+//!   defects, liveness, constant tables, redundant cones;
 //! * [`export`] (`export-benchmarks`) — regenerate the shipped
 //!   `benchmarks/` corpus from the `blasys-circuits` generators.
 //!
 //! Exit codes: `0` success, `1` runtime failure (unreadable or
 //! malformed input, I/O error), `2` usage error or an input circuit
 //! the flow cannot drive (printed as the
-//! [`FlowError`](blasys_core::FlowError) display text).
+//! [`FlowError`](blasys_core::FlowError) display text; `lint` exits 2
+//! when error-level findings exist), `3` warning-level lint findings
+//! under `lint --deny warnings`.
 
 use std::process::ExitCode;
 
 mod batch;
 mod certify;
 mod export;
+mod lint;
 mod opts;
 mod profile;
 mod run;
@@ -46,6 +51,8 @@ COMMANDS:
     profile <FILE.blif>   Dump the per-window BMF factorization profile
     sweep <FILE.blif>     Pareto sweep over an error-threshold ladder
     batch <DIR>           Run every .blif in DIR on the thread pool
+    lint <FILE.blif>      Static netlist analysis (exit 2 on errors; 3 on
+                          warnings with --deny warnings)
     export-benchmarks [DIR]  Write the built-in benchmark corpus (default: benchmarks)
     help                  Show this message
 
@@ -76,6 +83,8 @@ OUTPUT OPTIONS:
               --format <csv|json> [default: csv]  --out <PATH|-> [default: -]
     batch:    --thresholds <T1,T2,..> explore each circuit's cached profile
               once per rung (adds a threshold column)
+    lint:     --format <text|json> [default: text]  --deny warnings
+              --out <PATH|-> [default: -]
 
 EXAMPLES:
     blasys run benchmarks/adder8.blif --error-threshold 0.05 \\
@@ -97,6 +106,7 @@ fn main() -> ExitCode {
         "profile" => profile::main(rest),
         "sweep" => sweep::main(rest),
         "batch" => batch::main(rest),
+        "lint" => lint::main(rest),
         "export-benchmarks" => export::main(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -120,6 +130,10 @@ fn main() -> ExitCode {
         Err(CliError::Runtime(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::from(1)
+        }
+        Err(CliError::DeniedWarnings(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(3)
         }
     }
 }

@@ -14,7 +14,8 @@ use blasys_core::{
     Explorer, FlowError, Observers, Parallelism, QorMetric, SubcircuitProfile, TraceObserver,
     TrajectoryPoint,
 };
-use blasys_logic::blif::from_blif;
+use blasys_lint::{run_error_lints, LintConfig, LintTarget};
+use blasys_logic::blif::parse_blif_doc;
 use blasys_logic::Netlist;
 use blasys_obs::{FlightRecorder, Registry, SpanGuard, Tracer};
 
@@ -28,6 +29,10 @@ pub enum CliError {
     Flow(String),
     /// Runtime failure (I/O, parse) — exit 1.
     Runtime(String),
+    /// `--deny warnings` turned warning-level lint findings into a
+    /// failure — exit 3 (distinct from exit 2 so scripts can tell
+    /// "broken" from "merely suspicious").
+    DeniedWarnings(String),
 }
 
 impl CliError {
@@ -445,11 +450,30 @@ pub fn parse_thresholds(v: &str) -> Result<Vec<f64>, CliError> {
     Ok(thresholds)
 }
 
-/// Read and parse one BLIF file.
+/// Read, lint-gate and build one BLIF file.
+///
+/// Admission happens in three layers, matching the exit-code
+/// contract: I/O and syntax failures are runtime errors (exit 1);
+/// error-level lint findings on the parsed document (cycles, undriven
+/// or multiply-driven signals, undefined outputs) become a
+/// [`FlowError::InvalidNetlist`]-shaped flow error (exit 2) that names
+/// the offending signals; only a clean document is built into a
+/// [`Netlist`]. `blasys batch` relies on this as its per-circuit
+/// pre-flight: a broken circuit is skipped and reported without
+/// aborting the rest of the corpus.
 pub fn parse_blif_file(path: &str) -> Result<Netlist, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
-    from_blif(&text).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+    let doc = parse_blif_doc(&text).map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    let diags = run_error_lints(&LintTarget::new().with_doc(&doc), &LintConfig::default());
+    if !diags.is_empty() {
+        return Err(CliError::flow(path, FlowError::InvalidNetlist(diags)));
+    }
+    // The document passed the structural lints, so any residue here
+    // (duplicate declarations the lints model differently) is still
+    // reported as a parse failure rather than a panic.
+    doc.build()
+        .map_err(|e| CliError::runtime(format!("{path}: {e}")))
 }
 
 /// Write `content` to `path`, where `-` means stdout.

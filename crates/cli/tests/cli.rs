@@ -502,3 +502,123 @@ fn export_benchmarks_round_trips_through_batch() {
         );
     }
 }
+
+#[test]
+fn cyclic_blif_exits_2_naming_the_cycle() {
+    // A combinational cycle is caught by the admission lints before
+    // any flow stage runs; the error names the signals on the loop.
+    let dir = scratch("cyclic");
+    let cyc = dir.join("cyc.blif");
+    std::fs::write(
+        &cyc,
+        ".model cyc\n.inputs a\n.outputs f\n.names g f\n1 1\n.names f g\n1 1\n.end\n",
+    )
+    .unwrap();
+    for cmd in ["run", "certify", "profile", "sweep"] {
+        let out = blasys(&[cmd, cyc.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(2), "{cmd}: {}", stderr(&out));
+        let e = stderr(&out);
+        assert!(e.contains("invalid netlist"), "{cmd}: {e}");
+        assert!(
+            e.contains("combinational cycle") && e.contains('f') && e.contains('g'),
+            "{cmd} must name the cycle: {e}"
+        );
+    }
+}
+
+#[test]
+fn lint_exit_code_contract() {
+    let dir = scratch("lint-exits");
+    let clean = dir.join("clean.blif");
+    std::fs::write(
+        &clean,
+        ".model clean\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n",
+    )
+    .unwrap();
+    let warny = dir.join("warny.blif");
+    std::fs::write(
+        &warny,
+        ".model warny\n.inputs a b\n.outputs f\n.names a f\n1 1\n.names b dead\n1 1\n.end\n",
+    )
+    .unwrap();
+    let broken = dir.join("broken.blif");
+    std::fs::write(
+        &broken,
+        ".model broken\n.inputs a\n.outputs f\n.names ghost a f\n11 1\n.end\n",
+    )
+    .unwrap();
+
+    // Clean file: exit 0, summary line only.
+    let out = blasys(&["lint", clean.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("0 error(s), 0 warning(s)"),
+        "{}",
+        stdout(&out)
+    );
+
+    // Warnings alone keep exit 0 without --deny, 3 with it.
+    let out = blasys(&["lint", warny.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("L0005-dead-logic"),
+        "{}",
+        stdout(&out)
+    );
+    let out = blasys(&["lint", warny.to_str().unwrap(), "--deny", "warnings"]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    assert!(stderr(&out).contains("denied"), "{}", stderr(&out));
+
+    // Error findings: exit 2, diagnostics printed before the failure.
+    let out = blasys(&["lint", broken.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("L0002-undriven-signal"),
+        "{}",
+        stdout(&out)
+    );
+
+    // Usage errors still exit 2.
+    let out = blasys(&["lint", clean.to_str().unwrap(), "--format", "yaml"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = blasys(&["lint", clean.to_str().unwrap(), "--deny", "notes"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn lint_json_is_machine_readable() {
+    let dir = scratch("lint-json");
+    let warny = dir.join("warny.blif");
+    std::fs::write(
+        &warny,
+        ".model warny\n.inputs a b\n.outputs f\n.names a f\n1 1\n.names b dead\n1 1\n.end\n",
+    )
+    .unwrap();
+    let out = blasys(&["lint", warny.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let s = stdout(&out);
+    assert_valid_json(&s);
+    assert!(s.contains("\"lint\": \"L0005-dead-logic\""), "{s}");
+    assert!(s.contains("\"severity\": \"warn\""), "{s}");
+    assert!(s.contains("\"signals\""), "{s}");
+    assert!(s.contains("\"counts\""), "{s}");
+}
+
+#[test]
+fn lint_passes_the_shipped_corpus_with_denied_warnings() {
+    for entry in std::fs::read_dir(benchmarks_dir()).expect("benchmarks dir") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("blif") {
+            continue;
+        }
+        let out = blasys(&["lint", path.to_str().unwrap(), "--deny", "warnings"]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{}: {}{}",
+            path.display(),
+            stdout(&out),
+            stderr(&out)
+        );
+    }
+}

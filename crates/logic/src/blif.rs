@@ -162,13 +162,65 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
-/// Parse a BLIF model into a [`Netlist`].
+/// One `.names` block of a parsed BLIF model: the fanin signals, the
+/// target signal, and the two-level cover rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamesBlock {
+    /// 1-based source line of the `.names` directive.
+    pub line: usize,
+    /// The signal list as written: fanins first, target last (never
+    /// empty).
+    pub signals: Vec<String>,
+    /// Cover rows as `(input pattern, output char)`; the pattern uses
+    /// `0`/`1`/`-` per fanin and the output char is `0` or `1`.
+    pub cubes: Vec<(String, char)>,
+}
+
+impl NamesBlock {
+    /// The signal this block defines.
+    pub fn target(&self) -> &str {
+        self.signals.last().expect("parser rejects empty .names")
+    }
+
+    /// The fanin signals (may be empty for constant blocks).
+    pub fn fanins(&self) -> &[String] {
+        &self.signals[..self.signals.len() - 1]
+    }
+}
+
+/// The structural form of a BLIF model: directives parsed and cover
+/// rows validated, but **no** semantic checks (signals may be
+/// undefined, multiply driven, or cyclic) and no netlist built.
+///
+/// This is the surface static analysis runs on — `blasys-lint` turns
+/// semantic problems into diagnostics with source lines instead of
+/// hitting whatever error the netlist builder happens to reach first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlifDoc {
+    /// The `.model` name (`"blif"` if the directive is absent).
+    pub name: String,
+    /// Declared primary inputs, in order.
+    pub inputs: Vec<String>,
+    /// Declared primary outputs, in order.
+    pub outputs: Vec<String>,
+    /// All `.names` blocks, in source order.
+    pub blocks: Vec<NamesBlock>,
+    /// 1-based line of the first `.inputs` directive, if any.
+    pub inputs_line: Option<usize>,
+    /// 1-based line of the first `.outputs` directive, if any.
+    pub outputs_line: Option<usize>,
+}
+
+/// Parse the structure of a BLIF model without building a netlist.
 ///
 /// # Errors
 ///
-/// Returns [`LogicError::BlifParse`] on malformed input, unsupported
-/// constructs (latches, subcircuits), or references to undefined signals.
-pub fn from_blif(text: &str) -> Result<Netlist, LogicError> {
+/// Returns [`LogicError::BlifParse`] only for *syntactic* problems:
+/// malformed cover rows, unsupported constructs (latches, subcircuits),
+/// unknown directives, dangling continuations, or an empty model.
+/// Semantic problems (undefined or multiply-driven signals,
+/// combinational cycles) are left to [`BlifDoc::build`] and to lints.
+pub fn parse_blif_doc(text: &str) -> Result<BlifDoc, LogicError> {
     // Join continuation lines while tracking original numbering.
     let mut lines: Vec<(usize, String)> = Vec::new();
     let mut pending: Option<(usize, String)> = None;
@@ -219,12 +271,8 @@ pub fn from_blif(text: &str) -> Result<Netlist, LogicError> {
     let mut model_name = String::from("blif");
     let mut input_names: Vec<String> = Vec::new();
     let mut output_names: Vec<String> = Vec::new();
-    // .names blocks: (line, signal list incl. target, cover rows)
-    struct NamesBlock {
-        line: usize,
-        signals: Vec<String>,
-        cubes: Vec<(String, char)>,
-    }
+    let mut inputs_line: Option<usize> = None;
+    let mut outputs_line: Option<usize> = None;
     let mut blocks: Vec<NamesBlock> = Vec::new();
 
     let mut idx = 0;
@@ -238,10 +286,12 @@ pub fn from_blif(text: &str) -> Result<Netlist, LogicError> {
                 idx += 1;
             }
             ".inputs" => {
+                inputs_line.get_or_insert(*ln);
                 input_names.extend(toks.map(str::to_string));
                 idx += 1;
             }
             ".outputs" => {
+                outputs_line.get_or_insert(*ln);
                 output_names.extend(toks.map(str::to_string));
                 idx += 1;
             }
@@ -289,65 +339,142 @@ pub fn from_blif(text: &str) -> Result<Netlist, LogicError> {
         return Err(err(1, "empty model"));
     }
 
-    // Every signal must be defined exactly once: redefining an input or
-    // a previous .names target silently rewires whichever block happens
-    // to resolve last, so reject it up front.
-    {
-        let mut defined: HashSet<&str> = input_names.iter().map(String::as_str).collect();
-        for blk in &blocks {
-            let target = blk.signals.last().unwrap().as_str();
-            if !defined.insert(target) {
-                return Err(err(blk.line, "signal is defined more than once"));
+    Ok(BlifDoc {
+        name: model_name,
+        inputs: input_names,
+        outputs: output_names,
+        blocks,
+        inputs_line,
+        outputs_line,
+    })
+}
+
+impl BlifDoc {
+    /// Build the netlist this document describes, resolving `.names`
+    /// blocks in dependency order (BLIF allows any block ordering).
+    ///
+    /// # Errors
+    ///
+    /// * [`LogicError::DuplicateInput`] / [`LogicError::BlifParse`]
+    ///   for multiply-defined signals;
+    /// * [`LogicError::UndefinedSignal`] for a fanin that is defined
+    ///   nowhere in the model;
+    /// * [`LogicError::CombinationalCycle`] for `.names` blocks whose
+    ///   dependencies form a cycle (naming the signals on it);
+    /// * [`LogicError::BlifParse`] for an output that is never defined.
+    pub fn build(&self) -> Result<Netlist, LogicError> {
+        let err = |line: usize, message: String| LogicError::BlifParse { line, message };
+
+        // Every signal must be defined exactly once: redefining an
+        // input or a previous .names target silently rewires whichever
+        // block happens to resolve last, so reject it up front.
+        {
+            let mut defined: HashSet<&str> = self.inputs.iter().map(String::as_str).collect();
+            for blk in &self.blocks {
+                if !defined.insert(blk.target()) {
+                    return Err(err(blk.line, "signal is defined more than once".into()));
+                }
+            }
+        }
+
+        let mut nl = Netlist::new(self.name.clone());
+        let mut sig: HashMap<String, NodeId> = HashMap::new();
+        {
+            let mut seen = std::collections::HashSet::new();
+            for name in &self.inputs {
+                if !seen.insert(name.clone()) {
+                    return Err(LogicError::DuplicateInput { name: name.clone() });
+                }
+                let id = nl.add_input(name.clone());
+                sig.insert(name.clone(), id);
+            }
+        }
+
+        // Resolve blocks in dependency order (simple fixed-point).
+        let mut remaining: Vec<&NamesBlock> = self.blocks.iter().collect();
+        while !remaining.is_empty() {
+            let before = remaining.len();
+            remaining.retain(|blk| {
+                let fanins = blk.fanins();
+                if !fanins.iter().all(|s| sig.contains_key(s)) {
+                    return true; // keep, try later
+                }
+                let fan_ids: Vec<NodeId> = fanins.iter().map(|s| sig[s]).collect();
+                let node = build_cover(&mut nl, &fan_ids, &blk.cubes);
+                sig.insert(blk.target().to_string(), node);
+                false
+            });
+            if remaining.len() == before {
+                return Err(classify_stall(&remaining, &sig));
+            }
+        }
+
+        for name in &self.outputs {
+            let node = *sig.get(name).ok_or_else(|| {
+                err(
+                    self.outputs_line.unwrap_or(1),
+                    format!("output {name} is never defined"),
+                )
+            })?;
+            nl.try_mark_output(name.clone(), node)?;
+        }
+        Ok(nl)
+    }
+}
+
+/// The fixed-point resolution got stuck: tell an undefined fanin apart
+/// from a combinational cycle. If some stuck block references a signal
+/// no remaining block defines, that signal is simply undefined;
+/// otherwise every unresolved fanin is the target of another stuck
+/// block, so the target→fanin edges contain a cycle — walk them until
+/// a target repeats and report the loop.
+fn classify_stall(remaining: &[&NamesBlock], sig: &HashMap<String, NodeId>) -> LogicError {
+    let stuck: HashMap<&str, &NamesBlock> =
+        remaining.iter().map(|blk| (blk.target(), *blk)).collect();
+    for blk in remaining {
+        for fanin in blk.fanins() {
+            if !sig.contains_key(fanin) && !stuck.contains_key(fanin.as_str()) {
+                return LogicError::UndefinedSignal {
+                    line: blk.line,
+                    signal: fanin.clone(),
+                };
             }
         }
     }
-
-    let mut nl = Netlist::new(model_name);
-    let mut sig: HashMap<String, NodeId> = HashMap::new();
-    {
-        let mut seen = std::collections::HashSet::new();
-        for name in &input_names {
-            if !seen.insert(name.clone()) {
-                return Err(LogicError::DuplicateInput { name: name.clone() });
-            }
-            let id = nl.add_input(name.clone());
-            sig.insert(name.clone(), id);
+    // All unresolved fanins are stuck targets: follow them from any
+    // stuck block until a signal repeats.
+    let mut path: Vec<&str> = Vec::new();
+    let mut cur = remaining[0].target();
+    loop {
+        if let Some(pos) = path.iter().position(|&s| s == cur) {
+            let cycle: Vec<String> = path[pos..].iter().map(|s| s.to_string()).collect();
+            return LogicError::CombinationalCycle {
+                line: stuck[cur].line,
+                signals: cycle,
+            };
         }
+        path.push(cur);
+        cur = stuck[cur]
+            .fanins()
+            .iter()
+            .find(|f| !sig.contains_key(*f))
+            .expect("a stuck block has at least one unresolved fanin")
+            .as_str();
     }
+}
 
-    // Resolve blocks in dependency order (simple fixed-point; BLIF allows
-    // any ordering of .names).
-    let mut remaining: Vec<&NamesBlock> = blocks.iter().collect();
-    while !remaining.is_empty() {
-        let before = remaining.len();
-        remaining.retain(|blk| {
-            let target = blk.signals.last().unwrap();
-            let fanins = &blk.signals[..blk.signals.len() - 1];
-            if !fanins.iter().all(|s| sig.contains_key(s)) {
-                return true; // keep, try later
-            }
-            let fan_ids: Vec<NodeId> = fanins.iter().map(|s| sig[s]).collect();
-            let node = build_cover(&mut nl, &fan_ids, &blk.cubes);
-            sig.insert(target.clone(), node);
-            false
-        });
-        if remaining.len() == before {
-            let blk = remaining[0];
-            return Err(err(
-                blk.line,
-                "undefined signal in .names fanin (or combinational cycle)",
-            ));
-        }
-    }
-
-    for name in &output_names {
-        let node = *sig.get(name).ok_or_else(|| LogicError::BlifParse {
-            line: 1,
-            message: format!("output {name} is never defined"),
-        })?;
-        nl.try_mark_output(name.clone(), node)?;
-    }
-    Ok(nl)
+/// Parse a BLIF model into a [`Netlist`] — [`parse_blif_doc`] followed
+/// by [`BlifDoc::build`].
+///
+/// # Errors
+///
+/// Returns [`LogicError::BlifParse`] on malformed input or unsupported
+/// constructs (latches, subcircuits), [`LogicError::UndefinedSignal`]
+/// for references to signals defined nowhere, and
+/// [`LogicError::CombinationalCycle`] for cyclic `.names`
+/// dependencies.
+pub fn from_blif(text: &str) -> Result<Netlist, LogicError> {
+    parse_blif_doc(text)?.build()
 }
 
 /// Build the OR-of-ANDs (or complemented form for `0`-output covers)
@@ -497,7 +624,88 @@ mod tests {
     #[test]
     fn rejects_undefined_signal() {
         let text = ".model m\n.inputs a\n.outputs f\n.names ghost f\n1 1\n.end\n";
-        assert!(matches!(from_blif(text), Err(LogicError::BlifParse { .. })));
+        match from_blif(text) {
+            Err(LogicError::UndefinedSignal { line, signal }) => {
+                assert_eq!(line, 4);
+                assert_eq!(signal, "ghost");
+            }
+            other => panic!("expected UndefinedSignal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_combinational_cycle_naming_the_loop() {
+        // f depends on g, g depends on f — both defined, neither
+        // resolvable. The error must name the signals on the cycle,
+        // not claim anything is undefined.
+        let text = "\
+.model m
+.inputs a
+.outputs f
+.names g f
+1 1
+.names f g
+1 1
+.end
+";
+        match from_blif(text) {
+            Err(LogicError::CombinationalCycle { line, signals }) => {
+                assert!(line > 0);
+                assert!(!signals.is_empty());
+                assert!(signals.contains(&"f".to_string()) || signals.contains(&"g".to_string()));
+                // Every named signal really is on the cycle.
+                for s in &signals {
+                    assert!(s == "f" || s == "g", "stray signal {s}");
+                }
+            }
+            other => panic!("expected CombinationalCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle_of_one() {
+        let text = ".model m\n.inputs a\n.outputs f\n.names f f\n1 1\n.end\n";
+        match from_blif(text) {
+            Err(LogicError::CombinationalCycle { signals, .. }) => {
+                assert_eq!(signals, vec!["f".to_string()]);
+            }
+            other => panic!("expected CombinationalCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_beats_cycle_when_both_present() {
+        // A cycle between f and g AND a genuinely undefined fanin:
+        // the undefined signal is the more actionable diagnostic.
+        let text = "\
+.model m
+.inputs a
+.outputs f
+.names g ghost f
+11 1
+.names f g
+1 1
+.end
+";
+        assert!(matches!(
+            from_blif(text),
+            Err(LogicError::UndefinedSignal { signal, .. }) if signal == "ghost"
+        ));
+    }
+
+    #[test]
+    fn doc_parse_is_purely_structural() {
+        // Cyclic and multiply-driven models still parse as documents —
+        // the lint layer needs the structure to diagnose them.
+        let text = ".model m\n.inputs a\n.outputs f\n.names f f\n1 1\n.names a f\n1 1\n.end\n";
+        let doc = parse_blif_doc(text).expect("structure parses");
+        assert_eq!(doc.name, "m");
+        assert_eq!(doc.inputs, vec!["a".to_string()]);
+        assert_eq!(doc.blocks.len(), 2);
+        assert_eq!(doc.blocks[0].target(), "f");
+        assert_eq!(doc.blocks[0].fanins(), ["f".to_string()]);
+        assert_eq!(doc.inputs_line, Some(2));
+        assert!(doc.build().is_err());
     }
 
     #[test]

@@ -36,6 +36,24 @@ pub enum LogicError {
         /// Description of the problem.
         message: String,
     },
+    /// A `.names` block references a fanin signal that is never
+    /// defined anywhere in the model (not an input, not the target of
+    /// any `.names` block).
+    UndefinedSignal {
+        /// 1-based line of the referencing `.names` block.
+        line: usize,
+        /// The undefined signal name.
+        signal: String,
+    },
+    /// `.names` blocks form a combinational dependency cycle: every
+    /// signal involved is defined, but none can be resolved first.
+    CombinationalCycle {
+        /// 1-based line of one `.names` block on the cycle.
+        line: usize,
+        /// The signals on the cycle, in dependency order (the last
+        /// one feeds the first).
+        signals: Vec<String>,
+    },
     /// Two buses (or a bus and an operation) had incompatible widths.
     WidthMismatch {
         /// Width of the left operand.
@@ -66,6 +84,19 @@ impl fmt::Display for LogicError {
             LogicError::BlifParse { line, message } => {
                 write!(f, "BLIF parse error at line {line}: {message}")
             }
+            LogicError::UndefinedSignal { line, signal } => {
+                write!(
+                    f,
+                    "undefined signal `{signal}` in .names fanin at line {line}"
+                )
+            }
+            LogicError::CombinationalCycle { line, signals } => {
+                write!(
+                    f,
+                    "combinational cycle at line {line} through {}",
+                    signals.join(" -> ")
+                )
+            }
             LogicError::WidthMismatch { left, right } => {
                 write!(f, "bus width mismatch: {left} vs {right}")
             }
@@ -94,6 +125,14 @@ mod tests {
                 message: "bad cover".into(),
             },
             LogicError::WidthMismatch { left: 8, right: 4 },
+            LogicError::UndefinedSignal {
+                line: 3,
+                signal: "ghost".into(),
+            },
+            LogicError::CombinationalCycle {
+                line: 4,
+                signals: vec!["a".into(), "b".into()],
+            },
         ];
         for e in errors {
             let s = e.to_string();

@@ -410,10 +410,15 @@ impl Netlist {
     /// # Panics
     ///
     /// Panics if the name is already used; see
-    /// [`Netlist::try_mark_output`] for the fallible variant.
+    /// [`Netlist::try_mark_output`] for the fallible variant that
+    /// returns [`LogicError::DuplicateOutput`] instead. Code handling
+    /// untrusted circuit names (parsers, the CLI) must use the
+    /// fallible variant.
+    #[track_caller]
     pub fn mark_output(&mut self, name: impl Into<String>, node: NodeId) {
-        self.try_mark_output(name, node)
-            .expect("duplicate output name");
+        if let Err(e) = self.try_mark_output(name, node) {
+            panic!("mark_output: {e}");
+        }
     }
 
     /// Per-node logic depth: inputs and constants are level 0, a gate is
@@ -517,7 +522,12 @@ impl Netlist {
             };
         }
         for o in &self.outputs {
-            out.mark_output(o.name.clone(), map[o.node.index()]);
+            // Output names were unique in `self`, so push directly —
+            // no fallible re-check, no panic path.
+            out.outputs.push(Output {
+                name: o.name.clone(),
+                node: map[o.node.index()],
+            });
         }
         out
     }

@@ -9,6 +9,7 @@
 //! | [`bmf`] | `blasys-bmf` | Boolean matrix factorization (ASSO, GreConD, GF(2)) |
 //! | [`decomp`] | `blasys-decomp` | k×m-cut decomposition and substitution |
 //! | [`synth`] | `blasys-synth` | two-level minimization, techmap, area/power/delay |
+//! | [`lint`] | `blasys-lint` | static netlist analysis + flow-invariant verifiers |
 //! | [`blasys`] | `blasys-core` | the flow: profile → explore → synthesize → certify |
 //! | [`sat`] | `blasys-sat` | CDCL solver, miters, certified error bounds |
 //! | [`circuits`] | `blasys-circuits` | the paper's benchmark generators |
@@ -24,6 +25,7 @@ pub use blasys_bmf as bmf;
 pub use blasys_circuits as circuits;
 pub use blasys_core as blasys;
 pub use blasys_decomp as decomp;
+pub use blasys_lint as lint;
 pub use blasys_logic as logic;
 pub use blasys_obs as obs;
 pub use blasys_par as par;

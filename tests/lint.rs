@@ -1,0 +1,221 @@
+//! Mutation-corpus tests for `blasys-lint`: inject each defect class
+//! into randomly generated netlists and assert the exact lint id
+//! fires; round-tripped clean netlists and the shipped `benchmarks/`
+//! corpus must lint clean.
+
+use blasys_repro::lint::{
+    run_lints, verify_interface, verify_netlist, Diagnostic, LintConfig, LintTarget, Severity,
+};
+use blasys_repro::logic::blif::{parse_blif_doc, to_blif};
+use blasys_repro::logic::Netlist;
+use proptest::prelude::*;
+
+/// A random netlist where every primary input feeds an XOR chain into
+/// the first output, so no liveness lint can fire on a clean round
+/// trip.
+fn arb_live_netlist() -> impl Strategy<Value = Netlist> {
+    (
+        2usize..=5,
+        proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 3..40),
+    )
+        .prop_map(|(num_inputs, ops)| {
+            let mut nl = Netlist::new("mut");
+            let inputs: Vec<_> = (0..num_inputs)
+                .map(|i| nl.add_input(format!("i{i}")))
+                .collect();
+            let mut nodes = inputs.clone();
+            for (kind, a, b) in ops {
+                let a = nodes[a as usize % nodes.len()];
+                let b = nodes[b as usize % nodes.len()];
+                let g = match kind % 6 {
+                    0 => nl.and(a, b),
+                    1 => nl.or(a, b),
+                    2 => nl.xor(a, b),
+                    3 => nl.nand(a, b),
+                    4 => nl.nor(a, b),
+                    _ => nl.not(a),
+                };
+                nodes.push(g);
+            }
+            // Pick a real gate as the output: structural hashing may
+            // fold an op to a constant node, and a constant output is a
+            // *correct* L0007 finding, which this clean fixture must
+            // not produce.
+            let z0 = nodes
+                .iter()
+                .rev()
+                .copied()
+                .find(|&n| nl.node(n).kind().is_gate())
+                .unwrap_or_else(|| {
+                    let (a, b) = (inputs[0], inputs[1]);
+                    nl.xor(a, b)
+                });
+            nl.mark_output("z0", z0);
+            // Expose every input as a passthrough output: structural
+            // hashing may fold a PI out of any gate chain (xor(a, a)
+            // is a constant), but an output reference always keeps it
+            // live for both the doc- and netlist-level liveness lints.
+            for (i, &pi) in inputs.iter().enumerate() {
+                nl.mark_output(format!("keep{i}"), pi);
+            }
+            nl
+        })
+}
+
+fn lint_doc(text: &str) -> Vec<Diagnostic> {
+    let doc = parse_blif_doc(text).expect("mutated corpus must stay syntactically valid");
+    run_lints(&LintTarget::new().with_doc(&doc), &LintConfig::default()).diagnostics
+}
+
+fn has(diags: &[Diagnostic], id: &str) -> bool {
+    diags.iter().any(|d| d.lint == id)
+}
+
+/// Insert `block` just before `.end`.
+fn inject(blif: &str, block: &str) -> String {
+    blif.replace(".end", &format!("{block}\n.end"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A clean round-tripped netlist has no findings at any severity.
+    #[test]
+    fn clean_roundtrip_lints_clean(nl in arb_live_netlist()) {
+        let text = to_blif(&nl.cleaned());
+        let diags = lint_doc(&text);
+        let worst: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.severity >= Severity::Warn)
+            .collect();
+        prop_assert!(worst.is_empty(), "clean netlist warned: {worst:?}");
+    }
+
+    /// Injected cycle: two new blocks depending on each other.
+    #[test]
+    fn injected_cycle_fires_l0001(nl in arb_live_netlist()) {
+        let text = inject(
+            &to_blif(&nl.cleaned()),
+            ".names cyc_b i0 cyc_a\n11 1\n.names cyc_a i0 cyc_b\n11 1\n.names cyc_a z0_cyc\n1 1",
+        );
+        // Keep the injected logic live by not requiring reachability —
+        // the cycle lint is structural either way.
+        let diags = lint_doc(&text);
+        prop_assert!(has(&diags, "L0001-combinational-cycle"), "{diags:?}");
+        let cycle = diags.iter().find(|d| d.lint == "L0001-combinational-cycle").unwrap();
+        let mut signals = cycle.signals.clone();
+        signals.sort();
+        prop_assert_eq!(signals, vec!["cyc_a".to_string(), "cyc_b".to_string()]);
+    }
+
+    /// Injected undriven net: a block reading a ghost signal.
+    #[test]
+    fn injected_undriven_fires_l0002(nl in arb_live_netlist()) {
+        let text = inject(&to_blif(&nl.cleaned()), ".names ghost i0 u\n11 1");
+        let diags = lint_doc(&text);
+        prop_assert!(has(&diags, "L0002-undriven-signal"), "{diags:?}");
+        let d = diags.iter().find(|d| d.lint == "L0002-undriven-signal").unwrap();
+        prop_assert_eq!(&d.signals, &vec!["ghost".to_string()]);
+    }
+
+    /// Injected duplicate driver: redefine the first output.
+    #[test]
+    fn injected_duplicate_driver_fires_l0003(nl in arb_live_netlist()) {
+        let text = inject(&to_blif(&nl.cleaned()), ".names i0 z0\n1 1");
+        let diags = lint_doc(&text);
+        prop_assert!(has(&diags, "L0003-multiply-driven"), "{diags:?}");
+    }
+
+    /// Injected dead node: a gate nothing downstream reads.
+    #[test]
+    fn injected_dead_node_fires_l0005(nl in arb_live_netlist()) {
+        let text = inject(&to_blif(&nl.cleaned()), ".names i0 i1 dead\n11 1");
+        let diags = lint_doc(&text);
+        prop_assert!(has(&diags, "L0005-dead-logic"), "{diags:?}");
+        let d = diags.iter().find(|d| d.lint == "L0005-dead-logic").unwrap();
+        prop_assert_eq!(&d.signals, &vec!["dead".to_string()]);
+    }
+
+    /// Injected constant table: a tautological cover feeding the rest.
+    #[test]
+    fn injected_constant_table_fires_l0007(nl in arb_live_netlist()) {
+        // `taut` matches i0 in both polarities, so it is constant 1;
+        // it feeds a dead sink, which is a separate (expected) finding.
+        let text = inject(&to_blif(&nl.cleaned()), ".names i0 taut\n1 1\n0 1");
+        let diags = lint_doc(&text);
+        prop_assert!(has(&diags, "L0007-constant-table"), "{diags:?}");
+        let d = diags.iter().find(|d| d.lint == "L0007-constant-table").unwrap();
+        prop_assert_eq!(&d.signals, &vec!["taut".to_string()]);
+    }
+
+    /// Duplicate cone injected programmatically: the netlist gains a
+    /// NOT(AND) twin of a fresh NAND, which structural hashing cannot
+    /// merge but the simulation-signature lint must.
+    #[test]
+    fn injected_duplicate_cone_fires_l0008(nl in arb_live_netlist()) {
+        let mut nl = nl;
+        let a = nl.inputs()[0];
+        let b = nl.inputs()[1];
+        let nand = nl.nand(a, b);
+        let and = nl.and(a, b);
+        let twin = nl.not(and);
+        nl.mark_output("dup_a", nand);
+        nl.mark_output("dup_b", twin);
+        let diags = run_lints(
+            &LintTarget::new().with_netlist(&nl),
+            &LintConfig::default(),
+        )
+        .diagnostics;
+        let dup = diags
+            .iter()
+            .filter(|d| d.lint == "L0008-duplicate-cone")
+            .any(|d| d.nodes.contains(&nand.index()) && d.nodes.contains(&twin.index()));
+        prop_assert!(dup, "expected nand/not-and twin in {diags:?}");
+    }
+
+    /// The verifiers accept every well-formed random netlist and its
+    /// identity interface.
+    #[test]
+    fn verifiers_accept_well_formed(nl in arb_live_netlist()) {
+        let clean = nl.cleaned();
+        prop_assert!(verify_netlist(&clean).is_ok());
+        prop_assert!(verify_interface(&clean, &clean).is_ok());
+    }
+}
+
+/// Every shipped benchmark lints clean at warning severity and above
+/// (informational findings — e.g. genuinely duplicated butterfly
+/// twiddle cones — are allowed).
+#[test]
+fn shipped_benchmarks_lint_clean() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("benchmarks");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("benchmarks/ exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("blif") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = parse_blif_doc(&text).expect("shipped corpus parses");
+        let nl = doc.build().expect("shipped corpus builds");
+        let report = run_lints(
+            &LintTarget::new().with_doc(&doc).with_netlist(&nl),
+            &LintConfig::default(),
+        );
+        let worst: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity >= Severity::Warn)
+            .collect();
+        assert!(
+            worst.is_empty(),
+            "{} has warning+ findings: {worst:?}",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 5,
+        "expected the full shipped corpus, saw {checked}"
+    );
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Source gate: no new unwrap()/expect() in non-test code of
+# crates/logic and crates/blasys.
+#
+# Counts unwrap()/expect() occurrences per file, ignoring everything
+# from the first `#[cfg(test)]` onward and comment-only lines, then
+# compares against the audited caps in tools/src-lint-allow.txt
+# (missing file = cap 0). A count over its cap fails the gate: either
+# handle the error properly or — for a reviewed internal-invariant
+# site — raise the cap in the allowlist with a justification.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+allow="tools/src-lint-allow.txt"
+fail=0
+
+cap_for() {
+    # shellcheck disable=SC2013
+    awk -v f="$1" '$1 == f { print $2; found = 1 } END { if (!found) print 0 }' "$allow"
+}
+
+for f in crates/logic/src/*.rs crates/blasys/src/*.rs; do
+    n=$(awk '/#\[cfg\(test\)\]/ { exit } { print }' "$f" \
+        | grep -vE '^[[:space:]]*(//|///|//!)' \
+        | grep -cE '\.unwrap\(\)|\.expect\(' || true)
+    cap=$(cap_for "$f")
+    if [ "$n" -gt "$cap" ]; then
+        echo "src-lint: $f has $n unwrap()/expect() in non-test code (allowed: $cap)" >&2
+        echo "          handle the error (see LogicError / FlowError) or, for an" >&2
+        echo "          audited internal invariant, raise the cap in $allow" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "src-lint: OK (non-test unwrap/expect within audited caps)"
