@@ -128,7 +128,9 @@ pub use montecarlo::{Evaluator, McConfig, ProbeState, Signal, TableNetwork};
 pub use obs::{Observers, QorCounters, TraceObserver};
 pub use profile::{profile_partition, SubcircuitProfile, Variant};
 pub use qor::{QorMetric, QorReport};
-pub use report::{diagnostic_json, diagnostics_json, snapshot_json, FlowReport, Json};
+pub use report::{
+    diagnostic_json, diagnostics_json, snapshot_json, stop_reason_name, FlowReport, Json,
+};
 pub use session::{
     Budget, CancelToken, Exploration, ExploreSpec, FlowConfig, FlowObserver, FlowSession,
     FlowStage, StopReason,

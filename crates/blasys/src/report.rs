@@ -15,6 +15,7 @@ use blasys_synth::DesignMetrics;
 use crate::explore::{AnnealSchedule, Explorer};
 use crate::flow::BlasysResult;
 use crate::qor::{QorMetric, QorReport};
+use crate::session::StopReason;
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -451,9 +452,38 @@ pub fn parse_explorer(name: &str) -> Option<Explorer> {
     }
 }
 
+/// The stable wire name of a [`StopReason`], used in `blasys-serve`
+/// responses and anywhere else a termination cause crosses a process
+/// boundary.
+pub fn stop_reason_name(reason: StopReason) -> &'static str {
+    match reason {
+        StopReason::Exhausted => "exhausted",
+        StopReason::ThresholdReached => "threshold-reached",
+        StopReason::Cancelled => "cancelled",
+        StopReason::ProbeBudget => "probe-budget",
+        StopReason::WallBudget => "wall-budget",
+        StopReason::ScheduleComplete => "schedule-complete",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stop_reason_names_are_stable() {
+        let all = [
+            (StopReason::Exhausted, "exhausted"),
+            (StopReason::ThresholdReached, "threshold-reached"),
+            (StopReason::Cancelled, "cancelled"),
+            (StopReason::ProbeBudget, "probe-budget"),
+            (StopReason::WallBudget, "wall-budget"),
+            (StopReason::ScheduleComplete, "schedule-complete"),
+        ];
+        for (reason, name) in all {
+            assert_eq!(stop_reason_name(reason), name);
+        }
+    }
 
     #[test]
     fn escapes_and_renders_compactly() {

@@ -859,6 +859,12 @@ impl FlowSession<Profiled> {
         self.pristine().samples()
     }
 
+    /// Number of k×m windows the decomposition produced (= the number
+    /// of cached ladders explorations walk).
+    pub fn clusters(&self) -> usize {
+        self.stage.profiles.len()
+    }
+
     /// The pristine exact-tables evaluator, built (golden simulation +
     /// exact table installation) on first use and cached for every
     /// later exploration.
@@ -886,6 +892,21 @@ impl FlowSession<Profiled> {
     /// [`ExploreSpec`]; each is bit-identical to a fresh one-shot flow
     /// with the same settings.
     pub fn explore(&self, spec: &ExploreSpec) -> Exploration {
+        self.explore_with(spec, None)
+    }
+
+    /// Like [`FlowSession::explore`], with a per-call observer that
+    /// overrides the session-level [`FlowConfig::observer`] for this
+    /// exploration only. This is what lets a long-lived cached session
+    /// (e.g. in `blasys-serve`) stream one request's progress to that
+    /// request without rewiring the session: pass `Some(observer)` to
+    /// watch this call, `None` to fall back to the session observer.
+    pub fn explore_with(
+        &self,
+        spec: &ExploreSpec,
+        observer: Option<&dyn FlowObserver>,
+    ) -> Exploration {
+        let observer = observer.or(self.cfg.observer.as_deref());
         let mut evaluator = self.pristine().clone();
         // An annealing schedule with no explicit seed inherits the
         // session's stimulus seed, so "same session config" implies
@@ -904,12 +925,14 @@ impl FlowSession<Profiled> {
             explorer,
         };
         let ctx = FlowContext {
-            observer: self.cfg.observer.as_deref(),
+            observer,
             cancel: spec.cancel.as_ref(),
             deadline: spec.budget.max_wall.map(|d| Instant::now() + d),
             registry: self.cfg.metrics.as_deref(),
         };
-        self.cfg.observe(|o| o.on_stage_start(FlowStage::Explore));
+        if let Some(o) = observer {
+            o.on_stage_start(FlowStage::Explore);
+        }
         let t0 = Instant::now();
         let exploration = explore_ctx(
             &mut evaluator,
@@ -924,7 +947,9 @@ impl FlowSession<Profiled> {
                 .add(t0.elapsed().as_nanos() as u64);
             r.counter("flow.explore.probes").add(exploration.probes);
         }
-        self.cfg.observe(|o| o.on_stage_end(FlowStage::Explore));
+        if let Some(o) = observer {
+            o.on_stage_end(FlowStage::Explore);
+        }
         exploration
     }
 

@@ -15,6 +15,9 @@
 //!   CSV or JSON out;
 //! * [`batch`] — run a whole directory of BLIF circuits across the
 //!   `blasys-par` thread pool with an aggregate summary table;
+//! * [`serve`] — long-running HTTP service: circuits are profiled
+//!   once into a content-addressed session cache, then explored any
+//!   number of times;
 //! * [`lint`] — static analysis of one BLIF circuit: structural
 //!   defects, liveness, constant tables, redundant cones;
 //! * [`export`] (`export-benchmarks`) — regenerate the shipped
@@ -36,6 +39,7 @@ mod lint;
 mod opts;
 mod profile;
 mod run;
+mod serve;
 mod sweep;
 
 use opts::CliError;
@@ -51,6 +55,8 @@ COMMANDS:
     profile <FILE.blif>   Dump the per-window BMF factorization profile
     sweep <FILE.blif>     Pareto sweep over an error-threshold ladder
     batch <DIR>           Run every .blif in DIR on the thread pool
+    serve                 HTTP service: POST circuits once, explore many times
+                          from a content-addressed session cache
     lint <FILE.blif>      Static netlist analysis (exit 2 on errors; 3 on
                           warnings with --deny warnings)
     export-benchmarks [DIR]  Write the built-in benchmark corpus (default: benchmarks)
@@ -85,6 +91,12 @@ OUTPUT OPTIONS:
               once per rung (adds a threshold column)
     lint:     --format <text|json> [default: text]  --deny warnings
               --out <PATH|-> [default: -]
+    serve:    --addr <HOST:PORT> [default: 127.0.0.1:8080; port 0 = ephemeral]
+              --cache-size <N> [default: 8]  --max-inflight <N> [default: 4]
+              --max-body-kb <N> [default: 4096]  --read-timeout-ms <N> [default: 5000]
+              --profile-wall-ms <N>  --explore-wall-ms <N>
+              (flow options select the cached sessions' profile settings;
+              --metrics prints the snapshot after graceful shutdown)
 
 EXAMPLES:
     blasys run benchmarks/adder8.blif --error-threshold 0.05 \\
@@ -106,6 +118,7 @@ fn main() -> ExitCode {
         "profile" => profile::main(rest),
         "sweep" => sweep::main(rest),
         "batch" => batch::main(rest),
+        "serve" => serve::main(rest),
         "lint" => lint::main(rest),
         "export-benchmarks" => export::main(rest),
         "help" | "--help" | "-h" => {

@@ -532,6 +532,65 @@ impl Netlist {
         out
     }
 
+    /// A stable 64-bit content hash of the netlist's *function and
+    /// interface*: a splitmix64 fold over the primary-input and
+    /// -output counts and per-output simulation signatures under a
+    /// fixed pseudo-random stimulus (8 blocks × 64 patterns from a
+    /// splitmix64 stream, in the style of the lint duplicate-cone
+    /// signatures).
+    ///
+    /// Properties, pinned by tests:
+    ///
+    /// * **BLIF-stable** — the hash survives a `to_blif` →
+    ///   `from_blif` round trip, which rebuilds covers with different
+    ///   gate structure but the same function;
+    /// * **functionally sensitive** — any edit that changes any output
+    ///   under any of the 512 probe patterns changes the hash, so a
+    ///   functional edit escapes only if it is invisible to all of
+    ///   them;
+    /// * **name-blind, order-sensitive** — renaming the model or its
+    ///   ports does not change the hash; reordering ports does (the
+    ///   interface contract is positional).
+    ///
+    /// This is the cache key of the `blasys-serve` session cache:
+    /// structurally different implementations of the same function
+    /// deliberately share an entry.
+    pub fn content_hash(&self) -> u64 {
+        const BLOCKS: usize = 8;
+        fn splitmix64(x: u64) -> u64 {
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let fold = |h: u64, v: u64| splitmix64(h ^ v.wrapping_add(0x9E37_79B9_7F4A_7C15));
+        let mut h = fold(0xB1A5_5EED_0000_0000, self.num_inputs() as u64);
+        h = fold(h, self.num_outputs() as u64);
+        // Deterministic stimulus stream, independent of the fold state.
+        let mut state = 0u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            splitmix64(state)
+        };
+        let mut sim = crate::sim::Simulator::new(self);
+        let mut words = vec![0u64; self.num_inputs()];
+        for _ in 0..BLOCKS {
+            for w in &mut words {
+                *w = next();
+            }
+            for &out in sim.run(&words) {
+                h = fold(h, out);
+            }
+        }
+        h
+    }
+
+    /// [`Netlist::content_hash`] rendered as the 16-digit lowercase
+    /// hex string used in `blasys-serve` URLs and reports.
+    pub fn content_hash_hex(&self) -> String {
+        format!("{:016x}", self.content_hash())
+    }
+
     /// Check internal invariants (fanins in range and strictly earlier
     /// than their users, output references valid).
     ///
@@ -664,6 +723,106 @@ mod tests {
         assert_eq!(clean.num_outputs(), 1);
         assert_eq!(clean.gate_count(), 1);
         assert!(clean.validate().is_ok());
+    }
+
+    fn hash_fixture() -> Netlist {
+        let mut nl = Netlist::new("h");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let g = nl.and(a, b);
+        let h = nl.xor(g, c);
+        nl.mark_output("s", h);
+        let o = nl.or(g, c);
+        nl.mark_output("t", o);
+        nl
+    }
+
+    #[test]
+    fn content_hash_survives_blif_round_trip() {
+        let nl = hash_fixture();
+        let text = crate::blif::to_blif(&nl);
+        let back = crate::blif::from_blif(&text).expect("round trip");
+        // The parser rebuilds covers with different gate structure; the
+        // functional hash must not care.
+        assert_eq!(nl.content_hash(), back.content_hash());
+        assert_eq!(nl.content_hash_hex(), back.content_hash_hex());
+    }
+
+    #[test]
+    fn content_hash_changes_on_functional_edit() {
+        let nl = hash_fixture();
+        let mut edited = Netlist::new("h");
+        let a = edited.add_input("a");
+        let b = edited.add_input("b");
+        let c = edited.add_input("c");
+        let g = edited.or(a, b); // and → or
+        let h = edited.xor(g, c);
+        edited.mark_output("s", h);
+        let o = edited.or(g, c);
+        edited.mark_output("t", o);
+        assert_ne!(nl.content_hash(), edited.content_hash());
+    }
+
+    #[test]
+    fn content_hash_is_name_blind_but_port_order_sensitive() {
+        let nl = hash_fixture();
+
+        let mut renamed = Netlist::new("other_model");
+        let a = renamed.add_input("x0");
+        let b = renamed.add_input("x1");
+        let c = renamed.add_input("x2");
+        let g = renamed.and(a, b);
+        let h = renamed.xor(g, c);
+        renamed.mark_output("y0", h);
+        let o = renamed.or(g, c);
+        renamed.mark_output("y1", o);
+        assert_eq!(nl.content_hash(), renamed.content_hash());
+
+        let mut swapped = Netlist::new("h");
+        let c = swapped.add_input("c"); // declared first now
+        let a = swapped.add_input("a");
+        let b = swapped.add_input("b");
+        let g = swapped.and(a, b);
+        let h = swapped.xor(g, c);
+        swapped.mark_output("s", h);
+        let o = swapped.or(g, c);
+        swapped.mark_output("t", o);
+        assert_ne!(nl.content_hash(), swapped.content_hash());
+    }
+
+    #[test]
+    fn content_hash_matches_across_equivalent_structures() {
+        // NAND(a, b) vs NOT(AND(a, b)): same function, different gates.
+        let mut lhs = Netlist::new("l");
+        let a = lhs.add_input("a");
+        let b = lhs.add_input("b");
+        let g = lhs.nand(a, b);
+        lhs.mark_output("z", g);
+
+        let mut rhs = Netlist::new("r");
+        let a = rhs.add_input("a");
+        let b = rhs.add_input("b");
+        let g = rhs.and(a, b);
+        let n = rhs.not(g);
+        rhs.mark_output("z", n);
+
+        assert_eq!(lhs.content_hash(), rhs.content_hash());
+    }
+
+    #[test]
+    fn content_hash_handles_closed_netlists() {
+        // No primary inputs at all: constant outputs only.
+        let mut nl = Netlist::new("k");
+        let one = nl.constant(true);
+        nl.mark_output("z", one);
+        let h = nl.content_hash();
+        assert_eq!(h, nl.content_hash());
+
+        let mut zero_nl = Netlist::new("k");
+        let zero = zero_nl.constant(false);
+        zero_nl.mark_output("z", zero);
+        assert_ne!(h, zero_nl.content_hash());
     }
 
     #[test]

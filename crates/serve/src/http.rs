@@ -1,0 +1,344 @@
+//! Minimal HTTP/1.1 framing over any [`Read`]/[`Write`] pair: enough
+//! of the protocol for a localhost tool server, hardened against the
+//! two classic abuse shapes (slowloris trickle → read timeout → 408,
+//! oversized body → cap → 413) and nothing more. Every response closes
+//! the connection (`Connection: close`), so there is no keep-alive
+//! state machine to get wrong.
+
+use std::io::{self, Read, Write};
+
+/// Cap on the request line + headers, independent of the body cap.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path without the query string, e.g. `/circuits`.
+    pub path: String,
+    /// Raw query string after `?`, if any.
+    pub query: Option<String>,
+    /// Header name/value pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == &name.to_ascii_lowercase())
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The path split on `/`, empty segments dropped:
+    /// `/circuits/ab12/explore` → `["circuits", "ab12", "explore"]`.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// Whether the query string contains `flag` as a `key` or
+    /// `key=1`/`key=true` pair (the only query syntax the service
+    /// uses).
+    pub fn query_flag(&self, flag: &str) -> bool {
+        self.query.as_deref().is_some_and(|q| {
+            q.split('&').any(|kv| {
+                kv == flag
+                    || kv
+                        .strip_prefix(flag)
+                        .is_some_and(|rest| matches!(rest, "=1" | "=true"))
+            })
+        })
+    }
+}
+
+/// Why a request could not be read. Each variant maps to exactly one
+/// status code, decided here so every handler rejects identically.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer stalled past the socket read timeout (→ 408).
+    Timeout,
+    /// Head or declared body beyond the configured cap (→ 413).
+    TooLarge,
+    /// Anything else unparseable (→ 400).
+    Malformed(String),
+    /// The connection dropped mid-request; nothing to answer.
+    Disconnected,
+}
+
+impl HttpError {
+    /// The `(status, reason)` pair this error answers with.
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            HttpError::Timeout => (408, "Request Timeout"),
+            HttpError::TooLarge => (413, "Payload Too Large"),
+            HttpError::Malformed(_) => (400, "Bad Request"),
+            HttpError::Disconnected => (400, "Bad Request"),
+        }
+    }
+}
+
+fn io_error(e: io::Error) -> HttpError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::Timeout,
+        _ => HttpError::Disconnected,
+    }
+}
+
+/// Read and parse one request, enforcing `max_body` on the declared
+/// `Content-Length` (the body is never buffered past the cap).
+pub fn read_request<R: Read>(reader: &mut R, max_body: usize) -> Result<Request, HttpError> {
+    // Accumulate until the blank line ending the head.
+    let mut buf = Vec::new();
+    let head_len = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        let mut chunk = [0u8; 1024];
+        let n = reader.read(&mut chunk).map_err(io_error)?;
+        if n == 0 {
+            return Err(if buf.is_empty() {
+                HttpError::Disconnected
+            } else {
+                HttpError::Malformed("connection closed mid-header".to_string())
+            });
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| HttpError::Malformed("non-UTF-8 header".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".to_string()))?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".to_string()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".to_string()))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(HttpError::Malformed("expected HTTP/1.x".to_string())),
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("malformed header line `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(HttpError::Malformed(
+            "chunked request bodies are not supported; send Content-Length".to_string(),
+        ));
+    }
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("bad Content-Length".to_string()))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(HttpError::TooLarge);
+    }
+
+    // Body: whatever followed the head in the buffer, then the rest.
+    let mut body = buf[head_len + 4..].to_vec();
+    if body.len() > content_length {
+        return Err(HttpError::Malformed(
+            "body longer than Content-Length".to_string(),
+        ));
+    }
+    while body.len() < content_length {
+        let mut chunk = vec![0u8; (content_length - body.len()).min(64 * 1024)];
+        let n = reader.read(&mut chunk).map_err(io_error)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed mid-body".to_string(),
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Write a complete response with a `Content-Length` body and close
+/// semantics. Errors are returned for the caller to ignore (a peer
+/// that hung up mid-response is not the server's problem).
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Shorthand for a JSON response.
+pub fn write_json(
+    writer: &mut impl Write,
+    status: u16,
+    reason: &str,
+    body: &str,
+) -> io::Result<()> {
+    write_response(writer, status, reason, "application/json", body.as_bytes())
+}
+
+/// A `Transfer-Encoding: chunked` response in progress: one chunk per
+/// [`ChunkedWriter::send`], closed by [`ChunkedWriter::finish`].
+pub struct ChunkedWriter<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Write the response head and switch the connection to chunked
+    /// framing.
+    pub fn start(
+        mut writer: W,
+        status: u16,
+        reason: &str,
+        content_type: &str,
+    ) -> io::Result<ChunkedWriter<W>> {
+        write!(
+            writer,
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+        )?;
+        writer.flush()?;
+        Ok(ChunkedWriter { writer })
+    }
+
+    /// Send one chunk (empty data is skipped: a zero-length chunk
+    /// would terminate the stream).
+    pub fn send(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.writer, "{:x}\r\n", data.len())?;
+        self.writer.write_all(data)?;
+        self.writer.write_all(b"\r\n")?;
+        self.writer.flush()
+    }
+
+    /// Terminate the stream with the zero-length chunk.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.writer.write_all(b"0\r\n\r\n")?;
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read(raw: &str, max_body: usize) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()), max_body)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = read(
+            "POST /circuits?stream=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/circuits");
+        assert_eq!(req.segments(), vec!["circuits"]);
+        assert!(req.query_flag("stream"));
+        assert!(!req.query_flag("str"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn get_without_body() {
+        let req = read("GET /healthz HTTP/1.1\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(!req.query_flag("stream"));
+    }
+
+    #[test]
+    fn oversized_body_is_too_large() {
+        let err = read(
+            "POST /circuits HTTP/1.1\r\nContent-Length: 2048\r\n\r\n",
+            1024,
+        )
+        .unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge));
+        assert_eq!(err.status().0, 413);
+    }
+
+    #[test]
+    fn chunked_request_bodies_are_rejected() {
+        let err = read(
+            "POST /circuits HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            1024,
+        )
+        .unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        for raw in [
+            "NOT-HTTP\r\n\r\n",
+            "GET /x SPDY/3\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            assert!(read(raw, 1024).is_err(), "should reject {raw:?}");
+        }
+    }
+
+    #[test]
+    fn chunked_writer_frames_correctly() {
+        let mut out = Vec::new();
+        let mut w = ChunkedWriter::start(&mut out, 200, "OK", "application/x-ndjson").unwrap();
+        w.send(b"hello\n").unwrap();
+        w.send(b"").unwrap();
+        w.send(b"world\n").unwrap();
+        w.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.ends_with("6\r\nhello\n\r\n6\r\nworld\n\r\n0\r\n\r\n"));
+    }
+}

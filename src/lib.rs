@@ -16,6 +16,7 @@
 //! | [`salsa`] | `blasys-salsa` | SALSA comparison baseline |
 //! | [`par`] | `blasys-par` | scoped work-stealing thread pool |
 //! | [`obs`] | `blasys-obs` | spans, metrics registry, flight recorder |
+//! | [`serve`] | `blasys-serve` | HTTP service with a content-addressed session cache |
 //!
 //! The `blasys` command-line driver lives in `crates/cli` (binary
 //! only, not re-exported); the experiment harness regenerating the
@@ -31,4 +32,5 @@ pub use blasys_obs as obs;
 pub use blasys_par as par;
 pub use blasys_salsa as salsa;
 pub use blasys_sat as sat;
+pub use blasys_serve as serve;
 pub use blasys_synth as synth;
